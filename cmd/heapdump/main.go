@@ -1,0 +1,76 @@
+// Command heapdump runs program T on a platform profile and prints the
+// resulting heap map, collection summary and blacklist — the textual
+// version of the paper's "quick examination of the blacklist in a
+// statically linked SPARC executable" (observation 7).
+//
+// Usage:
+//
+//	heapdump -platform sparc-static -seed 1
+//	heapdump -platform sparc-dynamic -blacklist=false -width 96
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/inspect"
+)
+
+var (
+	platformName = flag.String("platform", "sparc-dynamic", "sparc-static|sparc-dynamic|sgi|os2|pcr")
+	blacklist    = flag.Bool("blacklist", true, "enable page blacklisting")
+	seed         = flag.Uint64("seed", 1, "random seed")
+	width        = flag.Int("width", 96, "heap map blocks per line")
+	showPages    = flag.Bool("pages", false, "list blacklisted page addresses")
+)
+
+func main() {
+	flag.Parse()
+	var profile repro.Profile
+	switch strings.ToLower(*platformName) {
+	case "sparc-static":
+		profile = repro.SPARCStatic(false)
+	case "sparc-dynamic":
+		profile = repro.SPARCDynamic(false)
+	case "sgi":
+		profile = repro.SGI(false)
+	case "os2":
+		profile = repro.OS2(false)
+	case "pcr":
+		profile = repro.PCR(0)
+	default:
+		fmt.Fprintf(os.Stderr, "heapdump: unknown platform %q\n", *platformName)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	env, err := profile.Build(*seed, *blacklist)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heapdump: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := env.RunProgramT()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heapdump: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s after program T (blacklisting=%v, seed=%d): %s\n\n",
+		profile.Name, *blacklist, *seed, res)
+	fmt.Println(inspect.Summary(env.World))
+	fmt.Println(inspect.HeapMap(env.World.Heap, env.World.Blacklist, *width))
+	if *showPages {
+		pages := inspect.BlacklistedPages(env.World.Blacklist)
+		fmt.Printf("\n%d blacklisted pages:\n", len(pages))
+		for i, p := range pages {
+			if i%8 == 0 && i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("  %#08x", uint32(p))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,83 @@
+// Command programt runs the paper's appendix-A test program once on a
+// chosen platform profile and prints the retention result, the direct
+// analogue of running the original C program on one machine.
+//
+// Usage:
+//
+//	programt -platform sparc-static -blacklist=false -seed 3
+//	programt -platform pcr -otherlive 13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/inspect"
+)
+
+var (
+	platformName = flag.String("platform", "sparc-static", "sparc-static|sparc-dynamic|sgi|os2|pcr")
+	optimized    = flag.Bool("optimized", false, "simulate the optimized compile")
+	blacklist    = flag.Bool("blacklist", true, "enable page blacklisting")
+	seed         = flag.Uint64("seed", 1, "random seed (the paper's runs vary; seeds reproduce the ranges)")
+	otherliveMB  = flag.Float64("otherlive", 4, "PCR only: other live data in MB (paper: 1.5-13)")
+	trace        = flag.Bool("trace", false, "print a gctrace-style line per collection")
+)
+
+func main() {
+	flag.Parse()
+	var profile repro.Profile
+	switch strings.ToLower(*platformName) {
+	case "sparc-static":
+		profile = repro.SPARCStatic(*optimized)
+	case "sparc-dynamic":
+		profile = repro.SPARCDynamic(*optimized)
+	case "sgi":
+		profile = repro.SGI(*optimized)
+	case "os2":
+		profile = repro.OS2(*optimized)
+	case "pcr":
+		profile = repro.PCR(int(*otherliveMB * (1 << 20)))
+	default:
+		fmt.Fprintf(os.Stderr, "programt: unknown platform %q\n", *platformName)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("program T on %s (optimized=%v, blacklisting=%v, seed=%d)\n",
+		profile.Name, *optimized, *blacklist, *seed)
+	fmt.Printf("  %d lists x %d nodes x %d bytes = %.1f MB of cyclic lists\n",
+		profile.NLists, profile.NodesPerList, profile.NodeWords*4,
+		float64(profile.NLists*profile.ListBytes())/(1<<20))
+
+	start := time.Now()
+	env, err := profile.Build(*seed, *blacklist)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "programt: %v\n", err)
+		os.Exit(1)
+	}
+	if *trace {
+		n := env.World.Collections()
+		env.World.SetCollectionHook(func(st repro.CollectionStats) {
+			n++
+			fmt.Println("  " + inspect.TraceLine(n, st))
+		})
+	}
+	res, err := env.RunProgramT()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "programt: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	fmt.Printf("\n  lists retained:   %d / %d (%.1f%%)\n",
+		res.RetainedLists, res.TotalLists, 100*res.RetainedFraction())
+	fmt.Printf("  collections:      %d\n", res.Collections)
+	fmt.Printf("  final heap:       %.1f MB\n", float64(res.HeapBytes)/(1<<20))
+	fmt.Printf("  blacklisted:      %d pages\n", env.World.Blacklist.Len())
+	fmt.Printf("  elapsed:          %v\n", elapsed)
+}

@@ -1,0 +1,85 @@
+// Data-structure style advisor: the paper's section 4 argues that
+// programming style governs how much damage a single false reference
+// can do. This example measures it directly on three structures —
+// an embedded-link grid vs a separate-cons grid (figures 3 and 4), and
+// a sliding-window queue with and without link clearing — and prints
+// the style advice the numbers support.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/simrand"
+	"repro/internal/workload"
+)
+
+func newWorld() *repro.World {
+	w, err := repro.NewWorld(repro.Config{
+		InitialHeapBytes: 8 << 20,
+		ReserveHeapBytes: 64 << 20,
+		GCDivisor:        -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w
+}
+
+func main() {
+	const rows, cols, trials = 80, 80, 300
+
+	fmt.Println("== Grids: embedded links (figure 3) vs separate cons cells (figure 4) ==")
+	for _, kind := range []repro.GridKind{repro.GridEmbedded, repro.GridSeparate} {
+		st, err := workload.MeasureGridRetention(newWorld(), rows, cols, kind, trials, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %6d objects; one false ref retains %6.0f objects on average (%.1f%%), worst %d\n",
+			kind, st.TotalObjects, st.MeanRetained, st.MeanFractionPct, st.MaxRetained)
+	}
+	fmt.Println(`advice: "the introduction of explicit cons-cells conveys more information
+to the garbage collector than the use of embedded link fields, and should be
+encouraged, in the presence of any garbage collector."`)
+
+	fmt.Println("\n== Queue with a stray pointer to one old element ==")
+	for _, clear := range []bool{false, true} {
+		w := newWorld()
+		root, err := w.Space.MapNew("roots", repro.KindData, 0x2000, 4096, 4096)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := workload.RunQueueChurn(w, 100, 30000, clear, root, 0x2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "links left dirty"
+		if clear {
+			mode = "links cleared on dequeue"
+		}
+		fmt.Printf("%-26s window=100, steps=30000: %6d cells still live at the end\n",
+			mode, res.FinalLiveObjects)
+	}
+	fmt.Println(`advice: "queues no longer grow without bound if the queue link field is
+cleared when an item is removed... clearing links is much safer than explicit
+deallocation."`)
+
+	fmt.Println("\n== Balanced tree: the benign case ==")
+	w := newWorld()
+	tree, err := workload.BuildBalancedTree(w, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := simrand.New(7)
+	var sum uint64
+	for i := 0; i < trials; i++ {
+		objs, _ := workload.FalseRefTrial(w, tree.Nodes, rng)
+		sum += objs
+	}
+	fmt.Printf("depth-16 tree, %d nodes: one false ref retains %.1f nodes on average\n",
+		len(tree.Nodes), float64(sum)/trials)
+	fmt.Println(`advice: tree-shaped data tolerates misidentification — expected retention
+is about the height of the tree, so "a large number of false references to
+such structures can usually be tolerated."`)
+}

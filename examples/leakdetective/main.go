@@ -1,0 +1,141 @@
+// Leak detective: the paper notes conservative collectors "have also
+// been used as a debugging tool for programs that explicitly deallocate
+// storage". This example plays that role on the simulated heap: a
+// little cache module forgets to drop entries, and the collector's
+// reachability view pinpoints both the leak and — using the
+// finalisation queue — the exact objects that should have died.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// cache is a deliberately buggy LRU-ish cache: evicted entries are
+// removed from the table but their cells stay linked on an "eviction
+// history" list someone added for debugging and forgot about — a
+// classic unbounded structure of the paper's section 4.
+type cache struct {
+	w       *repro.World
+	table   map[int]repro.Addr
+	history repro.Addr // cons list of evicted entries (the leak)
+	root    *repro.Segment
+}
+
+// entryWords: (key, payload, historyNext).
+const entryWords = 3
+
+func (c *cache) put(key int) error {
+	e, err := c.w.Allocate(entryWords, false)
+	if err != nil {
+		return err
+	}
+	c.w.Store(e, repro.Word(key))
+	c.w.Store(e+4, repro.Word(0xC0FFEE))
+	c.table[key] = e
+	// Track every entry so the collector can tell us its fate.
+	c.w.RegisterFinalizable(e)
+	return c.sync()
+}
+
+func (c *cache) evict(key int) error {
+	e, ok := c.table[key]
+	if !ok {
+		return nil
+	}
+	delete(c.table, key)
+	// BUG: the evicted entry is pushed onto the history list, which is
+	// still rooted, so it can never be collected.
+	c.w.Store(e+8, repro.Word(c.history))
+	c.history = e
+	return c.sync()
+}
+
+// sync mirrors the Go-side table into root memory, since the collector
+// only sees the simulated image: slot 0 holds the history head, slots
+// 1.. hold live table entries.
+func (c *cache) sync() error {
+	if err := c.root.Store(0x2000, repro.Word(c.history)); err != nil {
+		return err
+	}
+	i := 1
+	for _, e := range c.table {
+		if err := c.root.Store(0x2000+repro.Addr(4*i), repro.Word(e)); err != nil {
+			return err
+		}
+		i++
+	}
+	for ; i < 256; i++ {
+		if err := c.root.Store(0x2000+repro.Addr(4*i), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	w, err := repro.NewWorld(repro.Config{
+		InitialHeapBytes: 1 << 20,
+		ReserveHeapBytes: 8 << 20,
+		Blacklisting:     repro.BlacklistDense,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := w.Space.MapNew("cache.roots", repro.KindData, 0x2000, 4096, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &cache{w: w, table: map[int]repro.Addr{}, root: root}
+
+	// Churn: insert 200 entries, evict 150.
+	for k := 0; k < 200; k++ {
+		if err := c.put(k); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for k := 0; k < 150; k++ {
+		if err := c.evict(k); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := w.Collect()
+	reclaimed := w.DrainReclaimed()
+	fmt.Printf("after churn: %d entries in table, %d evicted\n", len(c.table), 150)
+	fmt.Printf("collector view: %d objects live, %d reclaimed\n",
+		st.Sweep.ObjectsLive, len(reclaimed))
+	fmt.Printf("=> %d evicted entries are still reachable: a leak!\n",
+		150-len(reclaimed))
+
+	// Diagnose: which root still points at a leaked entry? Scan root
+	// memory for heap values, exactly as the collector does.
+	for i := 0; i < 256; i++ {
+		v, _ := root.Load(0x2000 + repro.Addr(4*i))
+		if v != 0 {
+			if base, ok := w.Heap.FindObject(repro.Addr(v), false); ok {
+				key, _ := w.Load(base)
+				if _, live := c.table[int(key)]; !live {
+					fmt.Printf("root slot %d still references evicted entry (key=%d): "+
+						"the eviction-history list\n", i, key)
+					break
+				}
+			}
+		}
+	}
+
+	// Fix the bug: drop the history list and clear the stale link
+	// fields (the paper: "clearing links is much safer than explicit
+	// deallocation").
+	c.history = 0
+	if err := c.sync(); err != nil {
+		log.Fatal(err)
+	}
+	w.Collect()
+	fmt.Printf("after dropping the history root: %d more entries reclaimed\n",
+		len(w.DrainReclaimed()))
+	fmt.Printf("live objects now: %d (the %d entries still in the table)\n",
+		w.Heap.Stats().ObjectsLive, len(c.table))
+}

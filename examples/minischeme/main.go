@@ -1,0 +1,441 @@
+// Minischeme: a tiny Scheme interpreter whose entire runtime heap lives
+// in the conservatively collected simulated world.
+//
+// The paper's motivating application is exactly this: "conservative
+// garbage collection also makes it possible to easily compile other
+// programming languages that require garbage collection into efficient
+// C", citing Scheme->C, ML and Lisp systems. Here the interpreter plays
+// the compiled program's role: cons cells, closures and environments
+// are allocated from the simulated collected heap, the evaluator's
+// temporaries live in simulated stack frames, and collections are
+// forced to run mid-evaluation to show that conservative stack scanning
+// keeps every intermediate value alive with no cooperation from the
+// "compiler".
+//
+// Value representation (as a Scheme->C compiler would choose):
+//
+//	odd word          -> fixnum (n<<1 | 1)
+//	0                 -> nil
+//	2-word object     -> cons (car, cdr)
+//	3-word object     -> closure (params, body, env)
+//	1-word atomic     -> symbol (index into the Go-side symbol table)
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+// value is a tagged simulated-heap word.
+type value = repro.Word
+
+type interp struct {
+	w         *repro.World
+	m         *repro.Machine
+	syms      []string
+	intern    map[string]int
+	globalEnv value
+	envRoot   *repro.Segment // pins the global environment
+}
+
+func newInterp() *interp {
+	w, err := repro.NewWorld(repro.Config{
+		InitialHeapBytes: 64 * 1024,
+		ReserveHeapBytes: 8 << 20,
+		Blacklisting:     repro.BlacklistDense,
+		GCDivisor:        2, // collect eagerly: stress mid-eval safety
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := repro.NewMachine(w, repro.MachineConfig{
+		StackTop:   0x80000000,
+		StackBytes: 1 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, err := w.Space.MapNew("scheme.globals", repro.KindData, 0x2000, 4096, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &interp{w: w, m: m, intern: map[string]int{}, envRoot: root}
+}
+
+// Tagging helpers.
+
+func fixnum(n int) value    { return value(uint32(n)<<1 | 1) }
+func isFixnum(v value) bool { return v&1 == 1 }
+func fixnumVal(v value) int { return int(int32(v) >> 1) }
+func isNil(v value) bool    { return v == 0 }
+
+func (in *interp) isCons(v value) bool {
+	if v == 0 || v&1 == 1 {
+		return false
+	}
+	base, ok := in.w.Heap.FindObject(repro.Addr(v), false)
+	if !ok || base != repro.Addr(v) {
+		return false
+	}
+	words, atomic := in.w.Heap.ObjectSpan(base)
+	return words == 2 && !atomic
+}
+
+func (in *interp) isClosure(v value) bool {
+	if v == 0 || v&1 == 1 {
+		return false
+	}
+	words, atomic := in.w.Heap.ObjectSpan(repro.Addr(v))
+	return words == 3 && !atomic
+}
+
+func (in *interp) isSymbol(v value) bool {
+	if v == 0 || v&1 == 1 {
+		return false
+	}
+	words, atomic := in.w.Heap.ObjectSpan(repro.Addr(v))
+	return words == 1 && atomic
+}
+
+// Allocation. Every allocation may trigger a collection, so callers
+// must have parked any unrooted temporaries in a frame first.
+
+func (in *interp) cons(car, cdr value, f *repro.Frame, s0, s1 int) value {
+	// Park the arguments: the allocation below may collect.
+	f.Store(s0, car)
+	f.Store(s1, cdr)
+	cell, err := in.w.Allocate(2, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in.w.Store(repro.Addr(cell), car)
+	in.w.Store(repro.Addr(cell)+4, cdr)
+	return value(cell)
+}
+
+func (in *interp) car(v value) value {
+	w, _ := in.w.Load(repro.Addr(v))
+	return w
+}
+
+func (in *interp) cdr(v value) value {
+	w, _ := in.w.Load(repro.Addr(v) + 4)
+	return w
+}
+
+func (in *interp) symbol(name string) value {
+	idx, ok := in.intern[name]
+	if !ok {
+		idx = len(in.syms)
+		in.syms = append(in.syms, name)
+		in.intern[name] = idx
+	}
+	// Each mention allocates a fresh 1-word atomic heap object holding
+	// the symbol's interned index; symbol equality compares indices
+	// (via symbolName), not addresses. Atomic objects are never
+	// scanned, so the index can never masquerade as a pointer.
+	sym, err := in.w.Allocate(1, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in.w.Store(repro.Addr(sym), value(idx))
+	return value(sym)
+}
+
+func (in *interp) symbolName(v value) string {
+	idx, _ := in.w.Load(repro.Addr(v))
+	return in.syms[idx]
+}
+
+func (in *interp) closure(params, body, env value, f *repro.Frame) value {
+	f.Store(0, params)
+	f.Store(1, body)
+	f.Store(2, env)
+	c, err := in.w.Allocate(3, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in.w.Store(repro.Addr(c), params)
+	in.w.Store(repro.Addr(c)+4, body)
+	in.w.Store(repro.Addr(c)+8, env)
+	return value(c)
+}
+
+// Parsing: Go-side tokens into simulated-heap s-expressions.
+
+func tokenize(src string) []string {
+	src = strings.ReplaceAll(src, "(", " ( ")
+	src = strings.ReplaceAll(src, ")", " ) ")
+	return strings.Fields(src)
+}
+
+func (in *interp) parse(tokens []string, pos int) (value, int) {
+	tok := tokens[pos]
+	switch tok {
+	case "(":
+		pos++
+		var items []value
+		for tokens[pos] != ")" {
+			var v value
+			v, pos = in.parse(tokens, pos)
+			items = append(items, v)
+		}
+		// Build the list back to front. Parser results are rooted via a
+		// frame so mid-parse collections are safe.
+		var list value
+		err := in.m.WithFrame(2+len(items), func(f *repro.Frame) error {
+			for i, v := range items {
+				f.Store(2+i, v)
+			}
+			for i := len(items) - 1; i >= 0; i-- {
+				list = in.cons(items[i], list, f, 0, 1)
+				items[i] = list // keep the partial list visible
+				f.Store(2+i, list)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return list, pos + 1
+	case ")":
+		log.Fatal("unexpected )")
+		return 0, pos
+	default:
+		if n, err := strconv.Atoi(tok); err == nil {
+			return fixnum(n), pos + 1
+		}
+		return in.symbol(tok), pos + 1
+	}
+}
+
+// Environments: assoc lists of (symbol . value) pairs, themselves in
+// the collected heap.
+
+func (in *interp) lookup(env value, name string) (value, bool) {
+	for e := env; !isNil(e); e = in.cdr(e) {
+		pair := in.car(e)
+		if in.symbolName(in.car(pair)) == name {
+			return in.cdr(pair), true
+		}
+	}
+	return 0, false
+}
+
+func (in *interp) define(env value, name string, v value) value {
+	var out value
+	err := in.m.WithFrame(4, func(f *repro.Frame) error {
+		f.Store(2, v)
+		f.Store(3, env)
+		sym := in.symbol(name)
+		pair := in.cons(sym, v, f, 0, 1)
+		out = in.cons(pair, env, f, 0, 1)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+// eval evaluates an expression. Temporaries are parked in a simulated
+// frame at every step, mirroring what a Scheme->C compiler's generated
+// code keeps in locals — which is all the conservative collector needs.
+func (in *interp) eval(expr, env value) value {
+	if isFixnum(expr) || isNil(expr) {
+		return expr
+	}
+	if in.isSymbol(expr) {
+		name := in.symbolName(expr)
+		if v, ok := in.lookup(env, name); ok {
+			return v
+		}
+		log.Fatalf("unbound symbol %q", name)
+	}
+	// A form: (op args...)
+	op := in.car(expr)
+	if in.isSymbol(op) {
+		switch in.symbolName(op) {
+		case "quote":
+			return in.car(in.cdr(expr))
+		case "if":
+			test := in.eval(in.car(in.cdr(expr)), env)
+			if !isNil(test) && test != fixnum(0) {
+				return in.eval(in.car(in.cdr(in.cdr(expr))), env)
+			}
+			return in.eval(in.car(in.cdr(in.cdr(in.cdr(expr)))), env)
+		case "lambda":
+			var c value
+			err := in.m.WithFrame(3, func(f *repro.Frame) error {
+				c = in.closure(in.car(in.cdr(expr)), in.car(in.cdr(in.cdr(expr))), env, f)
+				return nil
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return c
+		}
+	}
+	// Application: evaluate operator and operands left to right,
+	// parking each result in the frame.
+	var result value
+	err := in.m.WithFrame(18, func(f *repro.Frame) error {
+		fn := in.eval(op, env)
+		f.Store(2, fn)
+		var args []value
+		i := 3
+		for a := in.cdr(expr); !isNil(a); a = in.cdr(a) {
+			v := in.eval(in.car(a), env)
+			f.Store(i, v)
+			args = append(args, v)
+			i++
+		}
+		result = in.apply(fn, args, f)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return result
+}
+
+func (in *interp) apply(fn value, args []value, f *repro.Frame) value {
+	if in.isSymbol(fn) { // builtin
+		name := in.symbolName(fn)
+		switch name {
+		case "+", "-", "*", "<", "=":
+			a, b := fixnumVal(args[0]), fixnumVal(args[1])
+			switch name {
+			case "+":
+				return fixnum(a + b)
+			case "-":
+				return fixnum(a - b)
+			case "*":
+				return fixnum(a * b)
+			case "<":
+				if a < b {
+					return fixnum(1)
+				}
+				return 0
+			case "=":
+				if a == b {
+					return fixnum(1)
+				}
+				return 0
+			}
+		case "cons":
+			return in.cons(args[0], args[1], f, 0, 1)
+		case "car":
+			return in.car(args[0])
+		case "cdr":
+			return in.cdr(args[0])
+		case "null?":
+			if isNil(args[0]) {
+				return fixnum(1)
+			}
+			return 0
+		}
+		log.Fatalf("not a function: %s", name)
+	}
+	if !in.isClosure(fn) {
+		log.Fatalf("not applicable: %#x", uint32(fn))
+	}
+	params := in.car(value(fn))
+	body, _ := in.w.Load(repro.Addr(fn) + 4)
+	env, _ := in.w.Load(repro.Addr(fn) + 8)
+	i := 0
+	for p := params; !isNil(p); p = in.cdr(p) {
+		env = in.define(env, in.symbolName(in.car(p)), args[i])
+		i++
+	}
+	return in.eval(body, env)
+}
+
+func (in *interp) show(v value) string {
+	switch {
+	case isNil(v):
+		return "()"
+	case isFixnum(v):
+		return strconv.Itoa(fixnumVal(v))
+	case in.isSymbol(v):
+		return in.symbolName(v)
+	case in.isClosure(v):
+		return "#<closure>"
+	default:
+		var parts []string
+		for ; in.isCons(v); v = in.cdr(v) {
+			parts = append(parts, in.show(in.car(v)))
+		}
+		if !isNil(v) {
+			parts = append(parts, ".", in.show(v))
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	}
+}
+
+// run parses and evaluates one expression, keeping the global
+// environment rooted in static data across collections.
+func (in *interp) run(src string) value {
+	tokens := tokenize(src)
+	var result value
+	err := in.m.WithFrame(2, func(f *repro.Frame) error {
+		expr, _ := in.parse(tokens, 0)
+		f.Store(0, expr)
+		result = in.eval(expr, in.globalEnv)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return result
+}
+
+func (in *interp) defineGlobal(name, src string) {
+	v := in.run(src)
+	in.globalEnv = in.define(in.globalEnv, name, v)
+	in.envRoot.Store(0x2000, in.globalEnv) // pin in static data
+}
+
+func main() {
+	in := newInterp()
+
+	// Builtins are bound to their own symbols.
+	for _, b := range []string{"+", "-", "*", "<", "=", "cons", "car", "cdr", "null?"} {
+		in.globalEnv = in.define(in.globalEnv, b, in.symbol(b))
+	}
+	in.envRoot.Store(0x2000, in.globalEnv)
+
+	fmt.Println("minischeme on a conservative collector")
+	in.defineGlobal("range", `(lambda (n)
+		((lambda (go) (go go n ()))
+		 (lambda (go n acc)
+		   (if (= n 0) acc (go go (- n 1) (cons n acc))))))`)
+	in.defineGlobal("sum", `(lambda (l)
+		((lambda (go) (go go l 0))
+		 (lambda (go l acc)
+		   (if (null? l) acc (go go (cdr l) (+ acc (car l)))))))`)
+	in.defineGlobal("map2x", `(lambda (l)
+		((lambda (go) (go go l))
+		 (lambda (go l)
+		   (if (null? l) () (cons (* 2 (car l)) (go go (cdr l)))))))`)
+
+	progs := []string{
+		"(sum (range 100))",
+		"(sum (map2x (range 100)))",
+		"(car (cdr (quote (1 2 3))))",
+		"(sum (map2x (map2x (range 250))))",
+	}
+	for _, p := range progs {
+		fmt.Printf("  %s = %s\n", p, in.show(in.run(p)))
+	}
+
+	st := in.w.Heap.Stats()
+	fmt.Printf("\nheap after run: %d objects live (%d KiB), %d collections, %d objects allocated in total\n",
+		st.ObjectsLive, st.BytesLive/1024, in.w.Collections(), st.ObjectsAllocated)
+	fmt.Println("every collection ran mid-evaluation against the simulated stack —")
+	fmt.Println("no pointer maps, no compiler cooperation, nothing lost.")
+}

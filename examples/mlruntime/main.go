@@ -1,0 +1,167 @@
+// Mlruntime: an ML-compiler-style typed runtime on the conservative
+// collector.
+//
+// The paper's introduction lists "portable implementations of ...
+// ML [11, 10]" among the systems built on conservative collection, and
+// notes that such systems "vary greatly in their degree of
+// conservativism ... Some maintain complete information on the
+// location of pointers in the heap, and only scan the stack
+// conservatively." This example is that design point: an ML-ish
+// runtime whose heap records are allocated with exact layout
+// descriptors (the compiler knows every record type), while the
+// runtime stack is still scanned conservatively — no stack maps, no
+// safe points.
+//
+// The payoff measured below: integer-heavy records (hash values,
+// lengths, file offsets) never masquerade as pointers, so a workload
+// that would pin megabytes under fully conservative heap scanning pins
+// nothing, while the stack remains as cheap to support as in any C
+// program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Record layouts, as an ML compiler would emit them.
+//
+//	type entry = { ofs : int; key : string(atomic); next : entry }
+//	  -> words: [ofs int][key ptr][next ptr]
+//	type tree  = { left : tree; right : tree; size : int }
+//	  -> words: [left ptr][right ptr][size int]
+type runtime struct {
+	w       *repro.World
+	m       *repro.Machine
+	entryTy repro.DescID
+	treeTy  repro.DescID
+	roots   *repro.Segment
+}
+
+func newRuntime(typed bool) *runtime {
+	w, err := repro.NewWorld(repro.Config{
+		InitialHeapBytes: 2 << 20,
+		ReserveHeapBytes: 64 << 20,
+		Blacklisting:     repro.BlacklistDense,
+		// Interior pointers, as ML arrays passed by reference require —
+		// the paper's unfavourable operating point.
+		Pointer: repro.PointerInterior,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := repro.NewMachine(w, repro.MachineConfig{
+		StackTop:   0x80000000,
+		StackBytes: 1 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	roots, err := w.Space.MapNew("ml.roots", repro.KindData, 0x2000, 4096, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := &runtime{w: w, m: m, roots: roots}
+	if typed {
+		rt.entryTy, err = w.RegisterLayout([]bool{false, true, true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt.treeTy, err = w.RegisterLayout([]bool{true, true, false})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		rt.entryTy, rt.treeTy = -1, -1
+	}
+	return rt
+}
+
+func (rt *runtime) allocRecord(ty repro.DescID) repro.Addr {
+	var p repro.Addr
+	var err error
+	if ty >= 0 {
+		p, err = rt.w.AllocateTyped(ty)
+	} else {
+		p, err = rt.w.Allocate(3, false)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// allocString allocates an atomic byte payload (ML strings carry no
+// pointers; both regimes know that).
+func (rt *runtime) allocString(words int) repro.Addr {
+	p, err := rt.w.Allocate(words, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// buildTable builds an index of n entries whose integer fields are
+// byte offsets into a multi-megabyte log file — values in exactly the
+// range where the heap lives, the integer data a fully conservative
+// heap scan misreads as pointers.
+func (rt *runtime) buildTable(n int, seed uint32) repro.Addr {
+	var head repro.Addr
+	h := seed
+	for i := 0; i < n; i++ {
+		e := rt.allocRecord(rt.entryTy)
+		h = h*1664525 + 1013904223
+		ofs := h % (8 << 20) // an offset into the 8 MB log
+		rt.w.Store(e, repro.Word(ofs))
+		rt.w.Store(e+4, repro.Word(rt.allocString(2)))
+		rt.w.Store(e+8, repro.Word(head))
+		head = e
+		rt.roots.Store(0x2000, repro.Word(head))
+	}
+	return head
+}
+
+func main() {
+	for _, typed := range []bool{false, true} {
+		rt := newRuntime(typed)
+
+		// Phase 1: transient working set — a large tree built and
+		// dropped, exactly the garbage the table's hash fields might pin.
+		err := rt.m.WithFrame(2, func(f *repro.Frame) error {
+			var build func(depth int) repro.Addr
+			build = func(depth int) repro.Addr {
+				t := rt.allocRecord(rt.treeTy)
+				if depth > 1 {
+					rt.w.Store(t, repro.Word(build(depth-1)))
+					rt.w.Store(t+4, repro.Word(build(depth-1)))
+				}
+				rt.w.Store(t+8, repro.Word(depth))
+				return t
+			}
+			f.Store(0, repro.Word(build(15))) // 32767 nodes, rooted on stack
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Phase 2: the long-lived table, whose hash words cover the
+		// address range where the dead tree still sits.
+		rt.buildTable(30000, 0x9E3779B9)
+
+		st := rt.w.Collect()
+		mode := "conservative heap"
+		if typed {
+			mode = "typed heap      "
+		}
+		fmt.Printf("%s: %7d objects live (%5d KiB), %8d heap words scanned, %d collections\n",
+			mode, st.Sweep.ObjectsLive, st.Sweep.BytesLive/1024,
+			st.Mark.FieldsScanned, rt.w.Collections())
+	}
+	fmt.Println("\nThe typed runtime keeps exact pointer maps for heap records (as its")
+	fmt.Println("compiler can) while the stack stays conservative (as its compiler prefers):")
+	fmt.Println("the paper's middle \"degree of conservativism\", with none of the integer-")
+	fmt.Println("as-pointer retention and a fraction of the marking work.")
+}

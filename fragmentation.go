@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/mem"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+)
+
+// FragmentationRow summarises one free-block policy's state after churn
+// (E10).
+type FragmentationRow struct {
+	Policy           FreeBlockPolicy
+	FreeSpans        int
+	LargestFreeSpan  int // blocks
+	MaxAllocatableKB int // largest single object placeable afterwards
+}
+
+// FragmentationOptions configures the churn.
+type FragmentationOptions struct {
+	HeapBytes int // default 16 MiB
+	Rounds    int // default 8
+	Seed      uint64
+}
+
+// Fragmentation operationalises the paper's concluding argument: "even
+// a completely nonmoving conservative collector should gain a slight
+// advantage over a malloc/free implementation, in that it is usually
+// much less expensive to keep free lists sorted by address. This
+// increases the probability that related objects are allocated
+// together, and thus increases the probability of large chunks of
+// adjacent space becoming available in the future, decreasing
+// fragmentation."
+//
+// Both allocators run the same random allocate/free churn of block-
+// sized objects; afterwards we compare the shape of the free store and
+// the largest object each can still place.
+func Fragmentation(opt FragmentationOptions) ([]FragmentationRow, *stats.Table, error) {
+	if opt.HeapBytes == 0 {
+		opt.HeapBytes = 16 << 20
+	}
+	if opt.Rounds == 0 {
+		opt.Rounds = 8
+	}
+
+	run := func(policy FreeBlockPolicy) (*FragmentationRow, error) {
+		space := mem.NewAddressSpace()
+		a, err := alloc.New(space, alloc.Config{
+			HeapBase:     0x400000,
+			InitialBytes: opt.HeapBytes,
+			ReserveBytes: opt.HeapBytes,
+			FreeBlocks:   policy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rng := simrand.New(opt.Seed)
+		var live []mem.Addr
+		for round := 0; round < opt.Rounds; round++ {
+			// Allocate block-span objects of 1..4 blocks until ~70% full.
+			for {
+				blocks := 1 + rng.Intn(4)
+				p, err := a.Alloc(blocks*mem.PageWords, false)
+				if errors.Is(err, alloc.ErrNeedMemory) {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				live = append(live, p)
+			}
+			// Free a random 60%.
+			rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+			keep := len(live) * 2 / 5
+			for _, p := range live[keep:] {
+				if err := a.Free(p); err != nil {
+					return nil, err
+				}
+			}
+			live = live[:keep]
+		}
+		// Probe the largest object still placeable.
+		maxKB := 0
+		for kb := 4; kb <= opt.HeapBytes/1024; kb *= 2 {
+			p, err := a.Alloc(kb*1024/mem.WordBytes, false)
+			if errors.Is(err, alloc.ErrNeedMemory) {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			maxKB = kb
+			if err := a.Free(p); err != nil {
+				return nil, err
+			}
+		}
+		return &FragmentationRow{
+			Policy:           policy,
+			FreeSpans:        len(a.FreeSpans()),
+			LargestFreeSpan:  a.LargestFreeSpan(),
+			MaxAllocatableKB: maxKB,
+		}, nil
+	}
+
+	var rows []FragmentationRow
+	for _, policy := range []FreeBlockPolicy{AddressOrdered, LIFO} {
+		r, err := run(policy)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, *r)
+	}
+	tab := stats.NewTable("Conclusions: free-block policy vs fragmentation after churn",
+		"Policy", "Free spans", "Largest span (blocks)", "Max allocatable")
+	for _, r := range rows {
+		name := "address-ordered"
+		if r.Policy == LIFO {
+			name = "LIFO (malloc-like)"
+		}
+		tab.AddF(name, r.FreeSpans, r.LargestFreeSpan, fmt.Sprintf("%d KB", r.MaxAllocatableKB))
+	}
+	return rows, tab, nil
+}

@@ -1,0 +1,101 @@
+package alloc
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// Card support for the generational extension (DESIGN.md, E12).
+//
+// The paper's last section-3.1 paragraph observes that stray stack
+// pointers "significantly lengthen the lifetime of some objects, thus
+// placing a ceiling on the effectiveness of generational collection",
+// citing the generational-conservative design of Demers et al. (its
+// reference [13]). That design keeps mark bits *sticky* across minor
+// collections — a marked object is old, an unmarked one young — and
+// uses page-granularity dirty bits so that old objects whose pages were
+// written since the last collection can be rescanned for old-to-young
+// pointers. Both pieces live here: one dirty bit per heap block, set by
+// the collector's write barrier, and a sweep variant that preserves
+// mark bits.
+
+// MarkDirty records a mutation of the block containing a (which must be
+// a committed heap address; other addresses are ignored).
+func (a *Allocator) MarkDirty(addr mem.Addr) {
+	if !a.InCommitted(addr) {
+		return
+	}
+	bi := a.blockIndex(addr)
+	a.dirty[bi>>6] |= 1 << (uint(bi) & 63)
+}
+
+// DirtyBlocks calls fn with each dirty block index.
+func (a *Allocator) DirtyBlocks(fn func(bi int)) {
+	for w, v := range a.dirty {
+		for v != 0 {
+			i := w<<6 + bits.TrailingZeros64(v)
+			if i < len(a.blocks) {
+				fn(i)
+			}
+			v &= v - 1
+		}
+	}
+}
+
+// ClearDirty resets all dirty bits; the collector calls it after each
+// minor collection.
+func (a *Allocator) ClearDirty() {
+	for i := range a.dirty {
+		a.dirty[i] = 0
+	}
+}
+
+// CountDirty returns the number of dirty blocks.
+func (a *Allocator) CountDirty() int {
+	n := 0
+	a.DirtyBlocks(func(int) { n++ })
+	return n
+}
+
+// ForEachMarkedObject calls fn with the base address of every marked
+// allocated object in block bi. The minor collection uses it to rescan
+// old objects on dirty blocks.
+func (a *Allocator) ForEachMarkedObject(bi int, fn func(base mem.Addr)) {
+	b := &a.blocks[bi]
+	switch b.state {
+	case blockLargeHead:
+		if b.markBits[0]&1 != 0 {
+			fn(a.blockBase(bi))
+		}
+	case blockLargeCont:
+		// The object belongs to its head block; a write to a
+		// continuation page dirties the head's object as well.
+		head := bi - int(b.spanLen)
+		if a.blocks[head].markBits[0]&1 != 0 {
+			fn(a.blockBase(head))
+		}
+	case blockSmall:
+		words := int(b.objWords)
+		base := a.blockBase(bi)
+		for slot := 0; slot < slotsPerBlock(words); slot++ {
+			if bitGet(b.allocBits, slot) && bitGet(b.markBits, slot) {
+				fn(base + mem.Addr(slot*words*mem.WordBytes))
+			}
+		}
+	}
+}
+
+// SweepSticky is Sweep with mark bits preserved: unmarked objects are
+// freed, marked objects stay marked ("old"). Together with MarkDirty
+// and a root re-scan it implements the sticky-mark-bit minor collection
+// of the generational-conservative design.
+func (a *Allocator) SweepSticky() SweepResult {
+	return a.sweep(false)
+}
+
+// Sweep reclaims every unmarked object, rebuilds the free lists, and
+// clears mark bits for the next full cycle. See also SweepSticky.
+func (a *Allocator) Sweep() SweepResult {
+	return a.sweep(true)
+}

@@ -1,0 +1,153 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func newDiscontiguous(t *testing.T) (*mem.AddressSpace, *Allocator) {
+	t.Helper()
+	space := mem.NewAddressSpace()
+	a, err := New(space, Config{
+		HeapBase:            0x400000,
+		InitialBytes:        4 * mem.PageBytes,
+		ReserveBytes:        4 * mem.PageBytes,
+		ExpandIncrement:     mem.PageBytes,
+		DiscontiguousGrowth: true,
+		ExtentGapBytes:      1 << 20,
+		ExtentReserveBytes:  8 * mem.PageBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, a
+}
+
+func fill(t *testing.T, a *Allocator) []mem.Addr {
+	t.Helper()
+	var objs []mem.Addr
+	for {
+		p, err := a.Alloc(mem.PageWords, false) // one block each
+		if err == ErrNeedMemory {
+			return objs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, p)
+	}
+}
+
+func TestDiscontiguousExpandAddsExtent(t *testing.T) {
+	space, a := newDiscontiguous(t)
+	first := fill(t, a)
+	if len(first) != 4 || a.Extents() != 1 {
+		t.Fatalf("first extent: %d objects, %d extents", len(first), a.Extents())
+	}
+	if err := a.Expand(mem.PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if a.Extents() != 2 {
+		t.Fatalf("Extents = %d after exhausting the first reservation", a.Extents())
+	}
+	// The new extent is non-adjacent.
+	seg2 := space.Segment("heap1")
+	if seg2 == nil {
+		t.Fatal("second extent not mapped")
+	}
+	if seg2.Base() < a.Seg().ReservedLimit()+1<<20 {
+		t.Fatalf("second extent at %#x not past the gap", uint32(seg2.Base()))
+	}
+	// Allocation proceeds into it.
+	p, err := a.Alloc(mem.PageWords, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg2.Contains(p) {
+		t.Fatalf("object %#x not in second extent", uint32(p))
+	}
+	// Address resolution across extents.
+	if base, ok := a.FindObject(p+100, true); !ok || base != p {
+		t.Fatal("FindObject broken in second extent")
+	}
+	if bi := a.blockIndex(p); a.blockBase(bi) != p {
+		t.Fatal("block index arithmetic broken across extents")
+	}
+	// Vicinity covers both reservations but not the gap.
+	if !a.InVicinity(seg2.Base() + 5*mem.PageBytes) {
+		t.Fatal("second extent reservation not in vicinity")
+	}
+	if a.InVicinity(a.Seg().ReservedLimit() + 0x1000) {
+		t.Fatal("gap between extents wrongly in vicinity")
+	}
+}
+
+func TestDiscontiguousMarkSweepAcrossExtents(t *testing.T) {
+	_, a := newDiscontiguous(t)
+	fill(t, a) // exhaust extent 1 (all garbage)
+	if err := a.Expand(mem.PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	keep, err := a.Alloc(2, false) // lives in extent 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, err := a.Alloc(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Mark(keep)
+	r := a.Sweep()
+	if r.ObjectsLive != 1 {
+		t.Fatalf("live = %d", r.ObjectsLive)
+	}
+	if !a.IsAllocated(keep) || a.IsAllocated(drop) {
+		t.Fatal("cross-extent sweep wrong")
+	}
+	// Every extent-1 block is free again; spans must not have been
+	// coalesced across the extent boundary.
+	for _, sp := range a.FreeSpans() {
+		e := a.extentOfBlock(sp[0])
+		if a.extentOfBlock(sp[0]+sp[1]-1) != e {
+			t.Fatalf("span %v crosses extents", sp)
+		}
+	}
+}
+
+func TestDiscontiguousCanExpandUntilAddressSpaceEnds(t *testing.T) {
+	space := mem.NewAddressSpace()
+	a, err := New(space, Config{
+		HeapBase:            0xFF000000, // near the top of the space
+		InitialBytes:        mem.PageBytes,
+		ReserveBytes:        mem.PageBytes,
+		ExpandIncrement:     mem.PageBytes,
+		DiscontiguousGrowth: true,
+		ExtentGapBytes:      4 << 20,
+		ExtentReserveBytes:  8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a.CanExpand() {
+		if err := a.Expand(mem.PageBytes); err != nil {
+			t.Fatalf("Expand with CanExpand true: %v", err)
+		}
+	}
+	if err := a.Expand(mem.PageBytes); err == nil {
+		t.Fatal("expand past the address space succeeded")
+	}
+}
+
+func TestContiguousDefaultStillExhausts(t *testing.T) {
+	_, a := newTestAllocator(t, Config{
+		InitialBytes: 2 * mem.PageBytes,
+		ReserveBytes: 2 * mem.PageBytes,
+	})
+	if a.CanExpand() {
+		t.Fatal("contiguous full heap claims expandability")
+	}
+	if err := a.Expand(mem.PageBytes); err != ErrHeapExhausted {
+		t.Fatalf("want ErrHeapExhausted, got %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzAllocatorOps interprets the fuzz input as an operation tape over
+// the allocator — allocate (several kinds), free, mark, sweep, expand —
+// and checks structural invariants after every operation.
+func FuzzAllocatorOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 20, 2, 0, 3, 4})
+	f.Add([]byte{0, 200, 0, 200, 5, 0, 4, 0, 0, 1})
+	f.Add([]byte{6, 0, 6, 1, 2, 0, 4, 0})
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		space := mem.NewAddressSpace()
+		a, err := New(space, Config{
+			HeapBase:     0x400000,
+			InitialBytes: 64 * 1024,
+			ReserveBytes: 512 * 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := a.RegisterDescriptor([]bool{true, false, true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []mem.Addr
+		marked := map[mem.Addr]bool{}
+		for i := 0; i+1 < len(tape) && i < 512; i += 2 {
+			op, arg := tape[i], int(tape[i+1])
+			switch op % 7 {
+			case 0: // small alloc
+				p, err := a.Alloc(1+arg%MaxSmallWords, arg%5 == 0)
+				if err == nil {
+					live = append(live, p)
+				} else if err != ErrNeedMemory {
+					t.Fatalf("alloc: %v", err)
+				}
+			case 1: // large alloc
+				p, err := a.Alloc(MaxSmallWords+1+arg*8, false)
+				if err == nil {
+					live = append(live, p)
+				} else if err != ErrNeedMemory {
+					t.Fatalf("large alloc: %v", err)
+				}
+			case 2: // typed alloc
+				p, err := a.AllocTyped(id)
+				if err == nil {
+					live = append(live, p)
+				} else if err != ErrNeedMemory {
+					t.Fatalf("typed alloc: %v", err)
+				}
+			case 3: // free one
+				if len(live) > 0 {
+					idx := arg % len(live)
+					if err := a.Free(live[idx]); err != nil {
+						t.Fatalf("free: %v", err)
+					}
+					delete(marked, live[idx])
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			case 4: // mark one
+				if len(live) > 0 {
+					p := live[arg%len(live)]
+					a.Mark(p)
+					marked[p] = true
+				}
+			case 5: // sweep: unmarked die, marked survive unmarked
+				a.Sweep()
+				var still []mem.Addr
+				for _, p := range live {
+					if marked[p] {
+						if !a.IsAllocated(p) {
+							t.Fatalf("marked object %#x swept", uint32(p))
+						}
+						still = append(still, p)
+					} else if a.IsAllocated(p) {
+						t.Fatalf("unmarked object %#x survived sweep", uint32(p))
+					}
+				}
+				live = still
+				marked = map[mem.Addr]bool{}
+			case 6: // expand
+				if a.CanExpand() {
+					if err := a.Expand(4096); err != nil {
+						t.Fatalf("expand: %v", err)
+					}
+				}
+			}
+			// Invariant: every live object resolves to itself.
+			for _, p := range live {
+				if base, ok := a.FindObject(p, false); !ok || base != p {
+					t.Fatalf("live object %#x lost (ok=%v base=%#x)", uint32(p), ok, uint32(base))
+				}
+			}
+			// Invariant: block accounting is consistent.
+			st := a.Stats()
+			if st.BlocksDedicated+st.BlocksFree != a.NumBlocks() {
+				t.Fatalf("block accounting: %d + %d != %d",
+					st.BlocksDedicated, st.BlocksFree, a.NumBlocks())
+			}
+		}
+	})
+}

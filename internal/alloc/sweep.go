@@ -1,0 +1,229 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// SweepResult reports what one sweep reclaimed and retained.
+type SweepResult struct {
+	ObjectsFreed   uint64
+	BytesFreed     uint64
+	ObjectsLive    uint64
+	BytesLive      uint64
+	BlocksReleased int // blocks returned to the free structure
+	BlocksKept     int // dedicated blocks retained
+}
+
+// sweep reclaims every unmarked object and rebuilds the size-class free
+// lists, as the paper's collector does after each mark phase. When
+// clearMarks is true (full collections) survivors' mark bits are
+// cleared for the next cycle; when false (SweepSticky, minor
+// collections) they are preserved as the "old" flag.
+//
+// Wholly empty blocks are returned to the free block structure (address
+// ordered with coalescing by default), which both lets the blacklist
+// steer future placement and implements the paper's fragmentation
+// argument for sorted free lists.
+func (a *Allocator) sweep(clearMarks bool) SweepResult {
+	var r SweepResult
+	// Free lists are rebuilt from scratch: the threaded slots live in
+	// blocks that may be released below.
+	for i := range a.freeList {
+		a.freeList[i] = 0
+	}
+	for k := range a.typedFree {
+		delete(a.typedFree, k)
+	}
+	for bi := 0; bi < len(a.blocks); bi++ {
+		b := &a.blocks[bi]
+		switch b.state {
+		case blockFree, blockLargeCont:
+			continue
+		case blockLargeHead:
+			n := int(b.spanLen)
+			if b.markBits[0]&1 != 0 {
+				if clearMarks {
+					b.markBits[0] = 0
+				}
+				r.ObjectsLive++
+				r.BytesLive += uint64(int(b.objWords) * mem.WordBytes)
+				r.BlocksKept += n
+			} else {
+				r.ObjectsFreed++
+				r.BytesFreed += uint64(int(b.objWords) * mem.WordBytes)
+				a.releaseSpan(bi, n)
+				r.BlocksReleased += n
+				a.stats.BlocksDedicated -= n
+				a.stats.BlocksFree += n
+			}
+			bi += n - 1
+		case blockSmall:
+			words := int(b.objWords)
+			nslots := slotsPerBlock(words)
+			objBytes := uint64(words * mem.WordBytes)
+			live := 0
+			for slot := a.firstSlot(words); slot < nslots; slot++ {
+				if bitGet(b.allocBits, slot) && bitGet(b.markBits, slot) {
+					live++
+				}
+			}
+			if live == 0 {
+				freed := int(b.liveSlots)
+				r.ObjectsFreed += uint64(freed)
+				r.BytesFreed += uint64(freed) * objBytes
+				a.releaseSpan(bi, 1)
+				r.BlocksReleased++
+				a.stats.BlocksDedicated--
+				a.stats.BlocksFree++
+				continue
+			}
+			// Rebuild this block's contribution to its free list,
+			// threading in address order, and clear mark bits. Typed
+			// blocks thread onto their (class, descriptor) list.
+			typed := b.desc >= 0
+			idx := int(b.class)
+			if b.atomic {
+				idx += NumClasses
+			}
+			tkey := typedKey{class: int(b.class), desc: b.desc}
+			base := a.blockBase(bi)
+			hw := a.blockWords(bi)
+			var head mem.Addr
+			if typed {
+				head = a.typedFree[tkey]
+			} else {
+				head = a.freeList[idx]
+			}
+			for slot := nslots - 1; slot >= a.firstSlot(words); slot-- {
+				if bitGet(b.allocBits, slot) {
+					if bitGet(b.markBits, slot) {
+						if clearMarks {
+							bitClear(b.markBits, slot)
+						}
+						continue
+					}
+					// Newly freed: zero the body so the next owner gets
+					// clean memory.
+					bitClear(b.allocBits, slot)
+					for w := 1; w < words; w++ {
+						hw[slot*words+w] = 0
+					}
+					r.ObjectsFreed++
+					r.BytesFreed += objBytes
+				}
+				hw[slot*words] = mem.Word(head)
+				head = base + mem.Addr(slot*words*mem.WordBytes)
+			}
+			if typed {
+				a.typedFree[tkey] = head
+			} else {
+				a.freeList[idx] = head
+			}
+			b.liveSlots = int32(live)
+			r.ObjectsLive += uint64(live)
+			r.BytesLive += uint64(live) * objBytes
+			r.BlocksKept++
+		}
+	}
+	a.stats.BytesLive = r.BytesLive
+	a.stats.ObjectsLive = r.ObjectsLive
+	return r
+}
+
+// ClearMarks clears every mark bit without sweeping. The collector uses
+// it for mark-only experiments (e.g. measuring apparently-live data
+// without disturbing the heap).
+func (a *Allocator) ClearMarks() {
+	for bi := range a.blocks {
+		b := &a.blocks[bi]
+		switch b.state {
+		case blockLargeHead:
+			b.markBits[0] = 0
+		case blockSmall:
+			for i := range b.markBits {
+				b.markBits[i] = 0
+			}
+		}
+	}
+}
+
+// CountMarked returns the number and total bytes of marked objects; it
+// is used by mark-only experiments ("apparently accessible" counts in
+// the paper's section 3.1).
+func (a *Allocator) CountMarked() (objects uint64, bytes uint64) {
+	for bi := range a.blocks {
+		b := &a.blocks[bi]
+		switch b.state {
+		case blockLargeHead:
+			if b.markBits[0]&1 != 0 {
+				objects++
+				bytes += uint64(int(b.objWords) * mem.WordBytes)
+			}
+		case blockSmall:
+			words := int(b.objWords)
+			for slot := 0; slot < slotsPerBlock(words); slot++ {
+				if bitGet(b.markBits, slot) {
+					objects++
+					bytes += uint64(words * mem.WordBytes)
+				}
+			}
+		}
+	}
+	return objects, bytes
+}
+
+// Free explicitly deallocates the object at base, like the original
+// collector's GC_free. The paper's leak-detection usage mixes explicit
+// deallocation with collection; tests also use Free to construct
+// specific heap shapes.
+func (a *Allocator) Free(base mem.Addr) error {
+	if !a.InCommitted(base) {
+		return fmt.Errorf("alloc: Free(%#x): not a heap address", uint32(base))
+	}
+	bi := a.blockIndex(base)
+	b := &a.blocks[bi]
+	hw := a.blockWords(bi)
+	switch b.state {
+	case blockLargeHead:
+		if base != a.blockBase(bi) {
+			return fmt.Errorf("alloc: Free(%#x): not an object base", uint32(base))
+		}
+		n := int(b.spanLen)
+		a.releaseSpan(bi, n)
+		a.stats.BlocksDedicated -= n
+		a.stats.BlocksFree += n
+		return nil
+	case blockSmall:
+		words := int(b.objWords)
+		off := int(base - a.blockBase(bi))
+		if off%(words*mem.WordBytes) != 0 {
+			return fmt.Errorf("alloc: Free(%#x): not an object base", uint32(base))
+		}
+		slot := off / (words * mem.WordBytes)
+		if slot >= slotsPerBlock(words) || !bitGet(b.allocBits, slot) {
+			return fmt.Errorf("alloc: Free(%#x): not allocated", uint32(base))
+		}
+		bitClear(b.allocBits, slot)
+		bitClear(b.markBits, slot)
+		b.liveSlots--
+		for w := 1; w < words; w++ {
+			hw[slot*words+w] = 0
+		}
+		if b.desc >= 0 {
+			tkey := typedKey{class: int(b.class), desc: b.desc}
+			hw[slot*words] = mem.Word(a.typedFree[tkey])
+			a.typedFree[tkey] = base
+			return nil
+		}
+		idx := int(b.class)
+		if b.atomic {
+			idx += NumClasses
+		}
+		hw[slot*words] = mem.Word(a.freeList[idx])
+		a.freeList[idx] = base
+		return nil
+	}
+	return fmt.Errorf("alloc: Free(%#x): not an object", uint32(base))
+}

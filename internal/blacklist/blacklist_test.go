@@ -1,0 +1,340 @@
+package blacklist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newDense(t *testing.T, base, limit mem.Addr, granule uint32) *Dense {
+	t.Helper()
+	d, err := NewDense(base, limit, granule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGranuleValidation(t *testing.T) {
+	if _, err := NewDense(0x1000, 0x2000, 3000); err == nil {
+		t.Error("non-power-of-two granule accepted")
+	}
+	if _, err := NewDense(0x1000, 0x2000, 2); err == nil {
+		t.Error("sub-word granule accepted")
+	}
+	if _, err := NewDense(0x2000, 0x1000, 4096); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHashed(100, 1); err == nil {
+		t.Error("hashed sub-word granule accepted")
+	}
+}
+
+func TestDenseAddContains(t *testing.T) {
+	d := newDense(t, 0x10000, 0x20000, mem.PageBytes)
+	if d.Contains(0x10100) {
+		t.Fatal("fresh list contains something")
+	}
+	d.Add(0x10104)
+	if !d.Contains(0x10100) || !d.Contains(0x10FFC) {
+		t.Fatal("same-page addresses should be blacklisted together")
+	}
+	if d.Contains(0x11000) {
+		t.Fatal("next page should not be blacklisted")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Adding to the same page is idempotent for Len.
+	d.Add(0x10108)
+	if d.Len() != 1 {
+		t.Fatalf("Len after duplicate add = %d", d.Len())
+	}
+}
+
+func TestDenseOutOfRangeIgnored(t *testing.T) {
+	d := newDense(t, 0x10000, 0x20000, mem.PageBytes)
+	d.Add(0x0FFFC) // below range
+	d.Add(0x20000) // at limit
+	d.Add(0xFFFFFFFC)
+	if d.Len() != 0 {
+		t.Fatalf("out-of-range adds changed Len: %d", d.Len())
+	}
+	if d.Contains(0x0FFFC) || d.Contains(0x20000) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+}
+
+func TestDenseContainsRange(t *testing.T) {
+	d := newDense(t, 0x10000, 0x40000, mem.PageBytes)
+	d.Add(0x23000)
+	tests := []struct {
+		lo, hi mem.Addr
+		want   bool
+	}{
+		{0x10000, 0x20000, false},
+		{0x20000, 0x30000, true},
+		{0x23000, 0x24000, true},
+		{0x22000, 0x23001, true}, // touches first byte of bad page
+		{0x22000, 0x23000, false},
+		{0x24000, 0x40000, false},
+		{0x23500, 0x23500, false}, // empty range
+		{0x0, 0x10000, false},     // wholly below
+		{0x40000, 0x50000, false}, // wholly above
+		{0x0, 0xFFFFFFFF, true},   // spans everything
+	}
+	for _, tt := range tests {
+		if got := d.ContainsRange(tt.lo, tt.hi); got != tt.want {
+			t.Errorf("ContainsRange(%#x,%#x) = %v, want %v",
+				uint32(tt.lo), uint32(tt.hi), got, tt.want)
+		}
+	}
+}
+
+func TestDenseRangeMatchesPointQueries(t *testing.T) {
+	d := newDense(t, 0x10000, 0x30000, mem.PageBytes)
+	f := func(addSel, lo16, hi16 uint16) bool {
+		d.Clear()
+		a := mem.Addr(0x10000 + uint32(addSel)%0x20000)
+		d.Add(a)
+		lo := mem.Addr(0x10000 + uint32(lo16)%0x20000)
+		hi := mem.Addr(0x10000 + uint32(hi16)%0x20000)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		want := false
+		for p := lo &^ (mem.PageBytes - 1); p < hi; p += mem.PageBytes {
+			if d.Contains(p) {
+				want = true
+				break
+			}
+		}
+		return d.ContainsRange(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseClear(t *testing.T) {
+	d := newDense(t, 0x10000, 0x20000, mem.PageBytes)
+	d.Add(0x11000)
+	d.Add(0x12000)
+	d.Clear()
+	if d.Len() != 0 || d.Contains(0x11000) {
+		t.Fatal("Clear did not clear")
+	}
+}
+
+func TestDenseExpire(t *testing.T) {
+	d := newDense(t, 0x10000, 0x20000, mem.PageBytes)
+	d.Add(0x11000) // seen in cycle 1
+	d.BeginCycle() // cycle 2
+	d.Add(0x12000)
+	d.BeginCycle() // cycle 3
+	d.BeginCycle() // cycle 4
+
+	// 0x11000 was last seen 3 cycles ago, 0x12000 two cycles ago.
+	if n := d.Expire(2); n != 1 {
+		t.Fatalf("Expire removed %d, want 1", n)
+	}
+	if d.Contains(0x11000) {
+		t.Fatal("stale entry survived Expire")
+	}
+	if !d.Contains(0x12000) {
+		t.Fatal("fresh entry removed by Expire")
+	}
+	// Re-adding refreshes the stamp.
+	d.Add(0x12000)
+	d.BeginCycle()
+	if n := d.Expire(5); n != 0 {
+		t.Fatalf("Expire removed %d, want 0", n)
+	}
+}
+
+func TestDenseGranules(t *testing.T) {
+	d := newDense(t, 0x10000, 0x20000, mem.PageBytes)
+	d.Add(0x13004)
+	d.Add(0x11FFC)
+	got := SortedAddrs(d.Granules())
+	if len(got) != 2 || got[0] != 0x11000 || got[1] != 0x13000 {
+		t.Fatalf("Granules = %#v", got)
+	}
+}
+
+func TestDenseFineGranule(t *testing.T) {
+	// 256-byte granule: the ablation configuration.
+	d := newDense(t, 0x10000, 0x20000, 256)
+	d.Add(0x10080)
+	if !d.Contains(0x100FF) {
+		t.Fatal("same 256-granule should be blacklisted")
+	}
+	if d.Contains(0x10100) {
+		t.Fatal("fine granule pinned a whole page")
+	}
+}
+
+func TestDenseUnalignedBase(t *testing.T) {
+	// Range not granule-aligned: covering granules still work.
+	d := newDense(t, 0x10100, 0x1F100, mem.PageBytes)
+	d.Add(0x10104)
+	if !d.Contains(0x10100) {
+		t.Fatal("address near unaligned base not covered")
+	}
+	d.Add(0x1F0FC)
+	if !d.Contains(0x1F000) {
+		t.Fatal("address near unaligned limit not covered")
+	}
+}
+
+func TestDenseStats(t *testing.T) {
+	d := newDense(t, 0x10000, 0x20000, mem.PageBytes)
+	d.Add(0x11000)
+	d.Contains(0x11000) // hit
+	d.Contains(0x12000) // miss
+	d.ContainsRange(0x10000, 0x20000)
+	s := d.Stats()
+	if s.Adds != 1 || s.Hits != 2 || s.Queries != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestHashedBasics(t *testing.T) {
+	h, err := NewHashed(1024, mem.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0x11000)
+	if !h.Contains(0x11000) || !h.Contains(0x11FFC) {
+		t.Fatal("hashed Contains wrong")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if !h.ContainsRange(0x10000, 0x20000) {
+		t.Fatal("hashed ContainsRange missed entry")
+	}
+	if h.ContainsRange(0x11000, 0x11000) {
+		t.Fatal("empty range should be false")
+	}
+	h.Clear()
+	if h.Len() != 0 || h.Contains(0x11000) {
+		t.Fatal("Clear did not clear")
+	}
+}
+
+func TestHashedCollisionsConflate(t *testing.T) {
+	// With a tiny table, distinct pages collide; the paper accepts that
+	// colliding pages are "effectively blacklisted" together.
+	h, _ := NewHashed(64, mem.PageBytes)
+	for p := mem.Addr(0); p < 64*4*mem.PageBytes; p += mem.PageBytes {
+		h.Add(p)
+	}
+	if h.Len() > 64 {
+		t.Fatalf("Len %d exceeds bucket count", h.Len())
+	}
+	// Everything added must still be contained (no false negatives).
+	for p := mem.Addr(0); p < 64*4*mem.PageBytes; p += mem.PageBytes {
+		if !h.Contains(p) {
+			t.Fatalf("false negative at %#x", uint32(p))
+		}
+	}
+}
+
+func TestHashedNoFalseNegativesProperty(t *testing.T) {
+	h, _ := NewHashed(4096, mem.PageBytes)
+	f := func(addrs []uint32) bool {
+		h.Clear()
+		for _, a := range addrs {
+			h.Add(mem.Addr(a))
+		}
+		for _, a := range addrs {
+			if !h.Contains(mem.Addr(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashedExpire(t *testing.T) {
+	h, _ := NewHashed(256, mem.PageBytes)
+	h.Add(0x5000)
+	h.BeginCycle()
+	h.BeginCycle()
+	if n := h.Expire(1); n != 1 {
+		t.Fatalf("Expire = %d", n)
+	}
+	if h.Contains(0x5000) {
+		t.Fatal("expired entry still present")
+	}
+	if h.Stats().Expired != 1 {
+		t.Fatal("Expired counter wrong")
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	var d Disabled
+	d.Add(0x1000)
+	if d.Contains(0x1000) || d.ContainsRange(0, 0xFFFFFFFF) || d.Len() != 0 {
+		t.Fatal("Disabled should never contain anything")
+	}
+	d.Clear()
+	d.BeginCycle()
+	if d.Expire(0) != 0 {
+		t.Fatal("Disabled Expire should return 0")
+	}
+	if d.Stats() != (Stats{}) {
+		t.Fatal("Disabled stats should be zero")
+	}
+}
+
+func BenchmarkDenseAddContains(b *testing.B) {
+	d, _ := NewDense(0x100000, 0x4100000, mem.PageBytes)
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(0x100000 + uint32(i*4096)%(0x4000000))
+		d.Add(a)
+		d.Contains(a)
+	}
+}
+
+func BenchmarkHashedAddContains(b *testing.B) {
+	h, _ := NewHashed(1<<14, mem.PageBytes)
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(uint32(i) * 4096)
+		h.Add(a)
+		h.Contains(a)
+	}
+}
+
+// TestHashedIsSupersetOfDense: on the same Add stream, anything a dense
+// blacklist reports is also reported by the hashed form — the hashed
+// form only loses precision in one direction (collisions conflate).
+func TestHashedIsSupersetOfDense(t *testing.T) {
+	d := newDense(t, 0x10000, 0x100000, mem.PageBytes)
+	h, err := NewHashed(512, mem.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(adds []uint16, probe uint16) bool {
+		d.Clear()
+		h.Clear()
+		for _, a16 := range adds {
+			a := mem.Addr(0x10000 + uint32(a16)*16)
+			d.Add(a)
+			h.Add(a)
+		}
+		p := mem.Addr(0x10000 + uint32(probe)*16)
+		if d.Contains(p) && !h.Contains(p) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

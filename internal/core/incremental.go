@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Incremental collection, after the mostly-parallel design the paper
+// cites as its pause-time companion (Boehm, Demers & Shenker, PLDI
+// 1991 — the paper's reference [8]; the paper notes its own root-scan
+// "time overhead involved in this could be largely eliminated by the
+// techniques in [8]").
+//
+// A cycle starts with a snapshot root scan, then marking proceeds in
+// bounded steps piggybacked on allocations while the mutator keeps
+// running; writes during the cycle dirty their heap page. The short
+// stop-the-world finale rescans dirty pages and the (possibly changed)
+// roots, drains, and sweeps. Objects allocated during the cycle are
+// unmarked and therefore must be re-reached via the finale's root scan
+// or a dirtied page — which is exactly what the write barrier
+// guarantees.
+
+// StartIncrementalCycle begins an incremental collection. It is a
+// no-op if a cycle is already active. Outside incremental mode it is
+// an error.
+func (w *World) StartIncrementalCycle() error {
+	if !w.cfg.Incremental {
+		return fmt.Errorf("core: StartIncrementalCycle outside incremental mode")
+	}
+	if w.incActive {
+		return nil
+	}
+	w.Blacklist.BeginCycle()
+	w.Marker.Reset()
+	w.Heap.ClearDirty()
+	w.markRoots()
+	w.incActive = true
+	return nil
+}
+
+// IncrementalActive reports whether a cycle is in progress.
+func (w *World) IncrementalActive() bool { return w.incActive }
+
+// IncrementalStep performs up to quantum objects of marking work,
+// returning true when the mark stack is drained (the cycle is ready to
+// finish).
+func (w *World) IncrementalStep(quantum int) bool {
+	if !w.incActive {
+		return true
+	}
+	if quantum <= 0 {
+		quantum = 64
+	}
+	w.incSteps++
+	return w.Marker.DrainN(quantum)
+}
+
+// FinishIncrementalCycle runs the stop-the-world finale: rescan pages
+// dirtied during the concurrent phase and the current roots, drain,
+// and sweep. Returns the cycle's statistics; the Duration field covers
+// only the finale — the pause the mutator actually observes.
+func (w *World) FinishIncrementalCycle() CollectionStats {
+	if !w.incActive {
+		return w.last
+	}
+	start := time.Now()
+	w.Heap.DirtyBlocks(func(bi int) {
+		w.Heap.ForEachMarkedObject(bi, w.Marker.ScanObject)
+	})
+	w.markRoots()
+	w.Marker.Drain()
+	for a := range w.finalizable {
+		if !w.Heap.Marked(a) {
+			w.reclaimed = append(w.reclaimed, a)
+			delete(w.finalizable, a)
+		}
+	}
+	sweep := w.Heap.Sweep()
+	w.Heap.ResetSinceGC()
+	w.Heap.ClearDirty()
+	if w.cfg.ExpireAge > 0 {
+		w.Blacklist.Expire(w.cfg.ExpireAge)
+	}
+	w.collections++
+	w.incActive = false
+	w.last = CollectionStats{
+		Mark:        w.Marker.Stats(),
+		Sweep:       sweep,
+		Blacklist:   w.Blacklist.Stats(),
+		Duration:    time.Since(start),
+		HeapBytes:   w.Heap.Stats().HeapBytes,
+		Incremental: true,
+		Steps:       w.incSteps,
+	}
+	w.incSteps = 0
+	w.fireHook()
+	return w.last
+}

@@ -1,0 +1,604 @@
+// Package core assembles the conservative collector: the simulated
+// address space, the mutator machine, the block allocator, the marker
+// with blacklisting, and the collection policy.
+//
+// A World is the analogue of one process image in the paper: static
+// data segments, a mutator stack and register file, and a collected
+// heap. Collection scans registers, the live stack, and every root
+// segment conservatively, then scans reached heap objects
+// conservatively (except pointer-free "atomic" objects), then sweeps.
+//
+// The collection-ordering technique of the paper's section 3 is
+// honoured: "we ensure that garbage collections take place at regular
+// intervals, with at least one (normally very fast) garbage collection
+// occurring just after system start up before any allocation has taken
+// place" — platform profiles call Collect immediately after
+// constructing and polluting a world, so false references from static
+// data are blacklisted before they can pin anything.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/blacklist"
+	"repro/internal/mark"
+	"repro/internal/mem"
+)
+
+// BlacklistMode selects the blacklist representation.
+type BlacklistMode int
+
+// Blacklist modes.
+const (
+	// BlacklistOff disables blacklisting (the paper's comparison rows).
+	BlacklistOff BlacklistMode = iota
+	// BlacklistDense uses the bit-array form ("implemented as a bit
+	// array, indexed by page numbers").
+	BlacklistDense
+	// BlacklistHashed uses the hash-table form recommended "if the heap
+	// is discontinuous".
+	BlacklistHashed
+)
+
+func (m BlacklistMode) String() string {
+	switch m {
+	case BlacklistDense:
+		return "dense"
+	case BlacklistHashed:
+		return "hashed"
+	default:
+		return "off"
+	}
+}
+
+// Config parameterises a World. The zero value is completed by
+// reasonable defaults (see withDefaults).
+type Config struct {
+	// HeapBase, InitialHeapBytes, ReserveHeapBytes and ExpandIncrement
+	// configure the heap geometry (see alloc.Config).
+	HeapBase         mem.Addr
+	InitialHeapBytes int
+	ReserveHeapBytes int
+	ExpandIncrement  int
+
+	// Pointer and Alignment select the conservativism operating point.
+	Pointer   mark.PointerPolicy
+	Alignment mark.AlignPolicy
+
+	// Blacklisting selects the blacklist mode; Granule its granularity
+	// in bytes (default one page); HashBuckets the hashed table size.
+	Blacklisting BlacklistMode
+	Granule      uint32
+	HashBuckets  int
+	// ExpireAge removes blacklist entries not re-observed within this
+	// many collections; 0 keeps them forever.
+	ExpireAge uint32
+
+	// AllowAtomicOnBlacklisted and AtomicBlacklistMaxWords, FreeBlocks,
+	// SkipPageBoundarySlot pass through to the allocator.
+	AllowAtomicOnBlacklisted bool
+	AtomicBlacklistMaxWords  int
+	FreeBlocks               alloc.FreeBlockPolicy
+	SkipPageBoundarySlot     bool
+	// DiscontiguousGrowth lets the heap grow by mapping extents at
+	// non-adjacent addresses once the first reservation is spent — the
+	// paper's second collector, whose discontinuous heap is why "it
+	// makes sense to implement [the blacklist] as a hash table". It
+	// therefore requires BlacklistHashed (or BlacklistOff): a dense
+	// list covers only the first extent.
+	DiscontiguousGrowth bool
+
+	// GCDivisor triggers a collection when allocation since the last
+	// one exceeds heapSize/GCDivisor (default 2; 0 disables automatic
+	// collection).
+	GCDivisor int
+	// FreeSpaceDivisor expands the heap after a collection that leaves
+	// less than heapSize/FreeSpaceDivisor free (default 4), so that a
+	// mostly-live heap does not thrash.
+	FreeSpaceDivisor int
+
+	// AllocatorResidue simulates the allocator's own call frames: each
+	// allocation briefly pushes a frame holding the fresh pointer and
+	// pops it, leaving the pointer as stack residue — "often the
+	// initial pointer value that is then accidentally preserved is
+	// stored by the allocator or collector itself" (section 3.1).
+	AllocatorResidue bool
+	// AllocatorSelfClean makes that frame clear itself before exit,
+	// the paper's countermeasure.
+	AllocatorSelfClean bool
+
+	// DesperateFallback lets an allocation use blacklisted pages when
+	// collection and expansion have both failed, instead of reporting
+	// exhaustion — the real collector's behaviour (it warns "needed to
+	// allocate blacklisted block" and proceeds).
+	DesperateFallback bool
+
+	// Generational enables sticky-mark-bit minor collections in the
+	// style of the paper's reference [13] (Demers et al., POPL 1990):
+	// marked objects are "old" and are only rescanned when their page
+	// was written since the last collection; unmarked objects are
+	// "young" and are collected by cheap minor cycles. The paper's
+	// section 3.1 observes that stray stack pointers place "a ceiling
+	// on the effectiveness" of exactly this scheme — experiment E12.
+	Generational bool
+	// MinorDivisor triggers a minor collection when allocation since
+	// the last collection exceeds heapSize/MinorDivisor (default 8).
+	MinorDivisor int
+	// FullEvery makes every n-th collection a full one in generational
+	// mode (default 8).
+	FullEvery int
+
+	// Incremental enables incremental cycles (see incremental.go):
+	// marking proceeds in bounded steps piggybacked on allocations and
+	// only a short finale stops the world. Mutually exclusive with
+	// Generational.
+	Incremental bool
+	// MarkQuantum bounds the marking work per allocation during an
+	// active incremental cycle, in objects (default 64).
+	MarkQuantum int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeapBase == 0 {
+		c.HeapBase = 0x400000
+	}
+	if c.InitialHeapBytes == 0 {
+		c.InitialHeapBytes = 1 << 20
+	}
+	if c.ReserveHeapBytes == 0 {
+		c.ReserveHeapBytes = 64 << 20
+	}
+	if c.Granule == 0 {
+		c.Granule = mem.PageBytes
+	}
+	if c.HashBuckets == 0 {
+		c.HashBuckets = 1 << 14
+	}
+	if c.GCDivisor == 0 {
+		c.GCDivisor = 2
+	}
+	if c.FreeSpaceDivisor == 0 {
+		c.FreeSpaceDivisor = 4
+	}
+	if c.MinorDivisor == 0 {
+		c.MinorDivisor = 8
+	}
+	if c.FullEvery == 0 {
+		c.FullEvery = 8
+	}
+	if c.MarkQuantum == 0 {
+		c.MarkQuantum = 64
+	}
+	return c
+}
+
+// Mutator is the machine state the collector scans in addition to the
+// root segments. internal/machine.Machine implements it.
+type Mutator interface {
+	// Registers returns the full register file.
+	Registers() []mem.Word
+	// LiveStack returns the live stack words [SP, stack top) and the
+	// address of the first word.
+	LiveStack() ([]mem.Word, mem.Addr)
+	// OnAllocate is invoked on every allocation (stack-clearing hook).
+	OnAllocate()
+}
+
+// residueSimulator is implemented by mutators that can simulate the
+// allocator's own transient stack frames.
+type residueSimulator interface {
+	SimulateCallResidue(clean bool, vals ...mem.Word)
+}
+
+// CollectionStats describes one collection.
+type CollectionStats struct {
+	Mark      mark.Stats
+	Sweep     alloc.SweepResult
+	Blacklist blacklist.Stats // cumulative at end of cycle
+	Duration  time.Duration
+	HeapBytes int
+	// Minor is true for generational minor collections.
+	Minor bool
+	// DirtyBlocks is how many heap blocks the write barrier recorded
+	// (minor collections only).
+	DirtyBlocks int
+	// Promoted counts objects newly marked by a minor collection: young
+	// survivors promoted to the old generation.
+	Promoted uint64
+	// Incremental is true when the cycle ran incrementally; Steps is
+	// how many bounded marking steps preceded the finale.
+	Incremental bool
+	Steps       int
+}
+
+// World is one simulated process image under garbage collection.
+type World struct {
+	Space     *mem.AddressSpace
+	Heap      *alloc.Allocator
+	Marker    *mark.Marker
+	Blacklist blacklist.List
+
+	cfg             Config
+	mut             Mutator
+	collections     int
+	minorsSinceFull int
+	incActive       bool
+	incSteps        int
+	last            CollectionStats
+	finalizable     map[mem.Addr]struct{}
+	reclaimed       []mem.Addr
+	hook            func(CollectionStats)
+}
+
+// SetCollectionHook registers fn to be invoked after every collection
+// (full, minor, or incremental finale) with its statistics; nil
+// unregisters. The inspect package provides a gctrace-style formatter
+// for the common logging case.
+func (w *World) SetCollectionHook(fn func(CollectionStats)) { w.hook = fn }
+
+// fireHook reports the completed collection to the registered hook.
+func (w *World) fireHook() {
+	if w.hook != nil {
+		w.hook(w.last)
+	}
+}
+
+// NewWorld builds a world in the given address space (a fresh one if
+// space is nil).
+func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
+	c := cfg.withDefaults()
+	if space == nil {
+		space = mem.NewAddressSpace()
+	}
+	var bl blacklist.List
+	var err error
+	switch c.Blacklisting {
+	case BlacklistOff:
+		bl = blacklist.Disabled{}
+	case BlacklistDense:
+		bl, err = blacklist.NewDense(c.HeapBase, c.HeapBase+mem.Addr(c.ReserveHeapBytes), c.Granule)
+	case BlacklistHashed:
+		bl, err = blacklist.NewHashed(c.HashBuckets, c.Granule)
+	default:
+		err = fmt.Errorf("core: unknown blacklist mode %d", c.Blacklisting)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.Generational && c.Incremental {
+		return nil, fmt.Errorf("core: generational and incremental modes are mutually exclusive")
+	}
+	if c.DiscontiguousGrowth && c.Blacklisting == BlacklistDense {
+		return nil, fmt.Errorf("core: a discontinuous heap needs the hashed blacklist (paper, section 3)")
+	}
+	heap, err := alloc.New(space, alloc.Config{
+		HeapBase:                 c.HeapBase,
+		InitialBytes:             c.InitialHeapBytes,
+		ReserveBytes:             c.ReserveHeapBytes,
+		ExpandIncrement:          c.ExpandIncrement,
+		Blacklist:                bl,
+		InteriorPointers:         c.Pointer == mark.PointerInterior,
+		AllowAtomicOnBlacklisted: c.AllowAtomicOnBlacklisted,
+		AtomicBlacklistMaxWords:  c.AtomicBlacklistMaxWords,
+		FreeBlocks:               c.FreeBlocks,
+		SkipPageBoundarySlot:     c.SkipPageBoundarySlot,
+		DiscontiguousGrowth:      c.DiscontiguousGrowth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &World{
+		Space:       space,
+		Heap:        heap,
+		Marker:      mark.New(heap, mark.Config{Policy: c.Pointer, Alignment: c.Alignment, Blacklist: bl}),
+		Blacklist:   bl,
+		cfg:         c,
+		finalizable: map[mem.Addr]struct{}{},
+	}, nil
+}
+
+// Config returns the world's effective configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// SetMutator attaches the mutator whose registers and stack are scanned.
+func (w *World) SetMutator(m Mutator) { w.mut = m }
+
+// Mutator returns the attached mutator (possibly nil).
+func (w *World) Mutator() Mutator { return w.mut }
+
+// Allocate allocates an object of nwords words, collecting and/or
+// expanding the heap as needed. atomic marks the object pointer-free.
+func (w *World) Allocate(nwords int, atomic bool) (mem.Addr, error) {
+	return w.allocate(nwords,
+		func() (mem.Addr, error) { return w.Heap.Alloc(nwords, atomic) },
+		func() (mem.Addr, error) { return w.Heap.AllocDesperate(nwords, atomic) })
+}
+
+// RegisterLayout registers an object layout (one pointer flag per
+// word) for typed allocation; see AllocateTyped.
+func (w *World) RegisterLayout(ptrMask []bool) (alloc.DescID, error) {
+	return w.Heap.RegisterDescriptor(ptrMask)
+}
+
+// AllocateTyped allocates an object with exact layout information: the
+// collector scans only the registered pointer words. This is the
+// "complete information on the location of pointers in the heap"
+// operating point of the paper's introduction.
+func (w *World) AllocateTyped(id alloc.DescID) (mem.Addr, error) {
+	d, err := w.Heap.Descriptor(id)
+	if err != nil {
+		return 0, err
+	}
+	return w.allocate(d.Words,
+		func() (mem.Addr, error) { return w.Heap.AllocTyped(id) },
+		nil)
+}
+
+// AllocateIgnoreOffPage allocates a large object under the client
+// promise that a pointer to its first page is kept while it is live;
+// deep interior pointers are then invalid and the blacklist only
+// constrains the first page (observation 7 / the original collector's
+// GC_malloc_ignore_off_page).
+func (w *World) AllocateIgnoreOffPage(nwords int, atomic bool) (mem.Addr, error) {
+	return w.allocate(nwords,
+		func() (mem.Addr, error) { return w.Heap.AllocIgnoreOffPage(nwords, atomic) },
+		nil)
+}
+
+// allocate runs the collection/expansion retry policy around one
+// allocation primitive.
+func (w *World) allocate(nwords int, try, desperate func() (mem.Addr, error)) (mem.Addr, error) {
+	if w.mut != nil {
+		w.mut.OnAllocate()
+	}
+	// Regular-interval trigger. Incremental mode starts a cycle and
+	// advances it in bounded steps; generational mode prefers the
+	// cheaper minor cycle with a periodic full cycle.
+	if w.cfg.Incremental {
+		st := w.Heap.Stats()
+		if !w.incActive && w.cfg.GCDivisor > 0 &&
+			st.BytesSinceGC > uint64(st.HeapBytes/w.cfg.GCDivisor) {
+			w.StartIncrementalCycle()
+		}
+		if w.incActive && w.IncrementalStep(w.cfg.MarkQuantum) {
+			w.FinishIncrementalCycle()
+			w.expandIfTight()
+		}
+	} else if w.cfg.Generational && w.cfg.MinorDivisor > 0 &&
+		w.Heap.Stats().BytesSinceGC > uint64(w.Heap.Stats().HeapBytes/w.cfg.MinorDivisor) {
+		if w.minorsSinceFull >= w.cfg.FullEvery-1 {
+			w.Collect()
+			w.expandIfTight()
+		} else {
+			w.CollectMinor()
+		}
+	} else if w.cfg.GCDivisor > 0 &&
+		w.Heap.Stats().BytesSinceGC > uint64(w.Heap.Stats().HeapBytes/w.cfg.GCDivisor) {
+		w.Collect()
+		w.expandIfTight()
+	}
+	p, err := try()
+	if err == alloc.ErrNeedMemory {
+		if w.incActive {
+			// Complete the in-flight incremental cycle: it will sweep.
+			w.FinishIncrementalCycle()
+			p, err = try()
+		}
+	}
+	if err == alloc.ErrNeedMemory {
+		// Collect only if enough allocation has happened since the last
+		// cycle to make one worthwhile; otherwise the heap is simply too
+		// small for the live data and must grow (the real collector's
+		// GC_collect_or_expand makes the same distinction).
+		st := w.Heap.Stats()
+		if st.BytesSinceGC > uint64(st.HeapBytes/8) {
+			w.Collect()
+			p, err = try()
+		}
+	}
+	for err == alloc.ErrNeedMemory {
+		grow := nwords * mem.WordBytes
+		if amortized := w.Heap.Stats().HeapBytes / 8; grow < amortized {
+			grow = amortized
+		}
+		if eerr := w.Heap.Expand(grow); eerr != nil {
+			if w.cfg.DesperateFallback && desperate != nil {
+				if p, derr := desperate(); derr == nil {
+					return p, nil
+				}
+			}
+			return 0, fmt.Errorf("allocating %d words: %w", nwords, eerr)
+		}
+		p, err = try()
+	}
+	if err != nil {
+		return 0, err
+	}
+	if w.cfg.AllocatorResidue {
+		if rs, ok := w.mut.(residueSimulator); ok {
+			rs.SimulateCallResidue(w.cfg.AllocatorSelfClean, mem.Word(p), mem.Word(nwords))
+		}
+	}
+	return p, nil
+}
+
+// expandIfTight grows the heap when a collection left too little free
+// space, per the FreeSpaceDivisor policy.
+func (w *World) expandIfTight() {
+	st := w.Heap.Stats()
+	free := uint64(st.HeapBytes) - st.BytesLive
+	if free < uint64(st.HeapBytes/w.cfg.FreeSpaceDivisor) && w.Heap.CanExpand() {
+		w.Heap.Expand(st.HeapBytes / 2)
+	}
+}
+
+// markRoots performs the root-scanning half of a collection.
+func (w *World) markRoots() {
+	if w.mut != nil {
+		for _, r := range w.mut.Registers() {
+			if r != 0 {
+				w.Marker.MarkValue(r)
+			}
+		}
+		stackWords, _ := w.mut.LiveStack()
+		w.Marker.MarkWords(stackWords)
+	}
+	w.Marker.MarkRootSegments(w.Space)
+}
+
+// Collect runs a full stop-the-world collection: mark from registers,
+// live stack and root segments; drain; handle finalisable objects;
+// sweep; age the blacklist.
+func (w *World) Collect() CollectionStats {
+	if w.incActive {
+		// A full collection supersedes the in-flight incremental cycle.
+		return w.FinishIncrementalCycle()
+	}
+	start := time.Now()
+	w.Blacklist.BeginCycle()
+	if w.cfg.Generational {
+		// Mark bits are sticky between minor cycles; a full collection
+		// starts from a clean slate.
+		w.Heap.ClearMarks()
+	}
+	w.Marker.Reset()
+	w.markRoots()
+	w.Marker.Drain()
+	// Finalisation, as used by the paper's PCR experiment: "selected
+	// otherwise unreachable heap cells to be enqueued for further
+	// action". Unmarked registered objects are queued before the sweep
+	// frees them.
+	for a := range w.finalizable {
+		if !w.Heap.Marked(a) {
+			w.reclaimed = append(w.reclaimed, a)
+			delete(w.finalizable, a)
+		}
+	}
+	var sweep alloc.SweepResult
+	if w.cfg.Generational {
+		// Survivors of a full cycle keep their mark bits: they are the
+		// old generation. The bits were cleared at the top of this
+		// collection, so they reflect exactly this cycle's liveness.
+		sweep = w.Heap.SweepSticky()
+	} else {
+		sweep = w.Heap.Sweep()
+	}
+	w.Heap.ResetSinceGC()
+	if w.cfg.ExpireAge > 0 {
+		w.Blacklist.Expire(w.cfg.ExpireAge)
+	}
+	w.collections++
+	w.minorsSinceFull = 0
+	w.Heap.ClearDirty()
+	w.last = CollectionStats{
+		Mark:      w.Marker.Stats(),
+		Sweep:     sweep,
+		Blacklist: w.Blacklist.Stats(),
+		Duration:  time.Since(start),
+		HeapBytes: w.Heap.Stats().HeapBytes,
+	}
+	w.fireHook()
+	return w.last
+}
+
+// CollectMinor runs a generational minor collection: old (marked)
+// objects on pages written since the last collection are rescanned for
+// old-to-young pointers, the roots are scanned as usual, and the sweep
+// preserves mark bits, so every young survivor is promoted to the old
+// generation (the sticky-mark-bit scheme of the paper's reference
+// [13]). Outside generational mode it behaves like Collect.
+func (w *World) CollectMinor() CollectionStats {
+	if !w.cfg.Generational {
+		return w.Collect()
+	}
+	start := time.Now()
+	w.Blacklist.BeginCycle()
+	w.Marker.Reset()
+	// Rescan old objects on dirty pages first: at this point every
+	// marked object is old, so the scan is exactly the remembered set.
+	dirty := 0
+	w.Heap.DirtyBlocks(func(bi int) {
+		dirty++
+		w.Heap.ForEachMarkedObject(bi, w.Marker.ScanObject)
+	})
+	w.markRoots()
+	w.Marker.Drain()
+	for a := range w.finalizable {
+		if !w.Heap.Marked(a) {
+			w.reclaimed = append(w.reclaimed, a)
+			delete(w.finalizable, a)
+		}
+	}
+	sweep := w.Heap.SweepSticky()
+	w.Heap.ResetSinceGC()
+	w.Heap.ClearDirty()
+	if w.cfg.ExpireAge > 0 {
+		w.Blacklist.Expire(w.cfg.ExpireAge)
+	}
+	w.collections++
+	w.minorsSinceFull++
+	w.last = CollectionStats{
+		Mark:        w.Marker.Stats(),
+		Sweep:       sweep,
+		Blacklist:   w.Blacklist.Stats(),
+		Duration:    time.Since(start),
+		HeapBytes:   w.Heap.Stats().HeapBytes,
+		Minor:       true,
+		DirtyBlocks: dirty,
+		Promoted:    w.Marker.Stats().ObjectsMarked,
+	}
+	w.fireHook()
+	return w.last
+}
+
+// MarkOnly marks from the roots and returns the apparently-accessible
+// object count and bytes, then clears the marks without sweeping. The
+// paper's section 3.1 reports exactly this quantity ("apparently
+// accessible cons-cells").
+func (w *World) MarkOnly() (objects, bytes uint64) {
+	if w.incActive {
+		// Mark-only measurement would clobber the in-flight cycle's
+		// mark bits; complete the cycle first.
+		w.FinishIncrementalCycle()
+	}
+	w.Marker.Reset()
+	w.markRoots()
+	w.Marker.Drain()
+	objects, bytes = w.Heap.CountMarked()
+	w.Heap.ClearMarks()
+	return objects, bytes
+}
+
+// Collections returns how many collections have run.
+func (w *World) Collections() int { return w.collections }
+
+// LastCollection returns statistics for the most recent collection.
+func (w *World) LastCollection() CollectionStats { return w.last }
+
+// RegisterFinalizable registers an object base address for reclamation
+// tracking: when a collection finds it unreachable, it is queued and
+// reported by DrainReclaimed.
+func (w *World) RegisterFinalizable(a mem.Addr) { w.finalizable[a] = struct{}{} }
+
+// DrainReclaimed returns and clears the queue of reclaimed registered
+// objects.
+func (w *World) DrainReclaimed() []mem.Addr {
+	out := w.reclaimed
+	w.reclaimed = nil
+	return out
+}
+
+// Load reads a heap or segment word (convenience for workloads).
+func (w *World) Load(a mem.Addr) (mem.Word, error) { return w.Space.Load(a) }
+
+// Store writes a heap or segment word (convenience for workloads). In
+// generational mode it doubles as the write barrier: heap stores dirty
+// their page, like the VM-dirty-bit barrier of the PCR collector.
+func (w *World) Store(a mem.Addr, v mem.Word) error {
+	if w.cfg.Generational || w.incActive {
+		w.Heap.MarkDirty(a)
+	}
+	return w.Space.Store(a, v)
+}

@@ -1,0 +1,125 @@
+package mark
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/blacklist"
+	"repro/internal/mem"
+)
+
+// FuzzMarkValue throws arbitrary words at the marker over a mixed heap
+// (small, large, atomic, typed, freed objects) and checks that marking
+// never panics, never marks a non-object, and is idempotent.
+func FuzzMarkValue(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0x400000))
+	f.Add(uint32(0x400001))
+	f.Add(uint32(0x4FFFFF))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(uint32(0x400000 + 4096))
+
+	space := mem.NewAddressSpace()
+	bl, err := blacklist.NewDense(0x400000, 0x400000+(1<<20), mem.PageBytes)
+	if err != nil {
+		f.Fatal(err)
+	}
+	heap, err := alloc.New(space, alloc.Config{
+		HeapBase:     0x400000,
+		InitialBytes: 256 * 1024,
+		ReserveBytes: 1 << 20,
+		Blacklist:    bl,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var objs []mem.Addr
+	for i := 0; i < 64; i++ {
+		p, err := heap.Alloc(1+i%7, i%3 == 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		objs = append(objs, p)
+	}
+	big, err := heap.Alloc(2*mem.PageWords, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	objs = append(objs, big)
+	id, err := heap.RegisterDescriptor([]bool{true, false})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tp, err := heap.AllocTyped(id)
+	if err != nil {
+		f.Fatal(err)
+	}
+	objs = append(objs, tp)
+	// A freed slot: candidates hitting it must be rejected.
+	freed := objs[3]
+	if err := heap.Free(freed); err != nil {
+		f.Fatal(err)
+	}
+
+	m := New(heap, Config{Policy: PointerInterior, Blacklist: bl})
+	f.Fuzz(func(t *testing.T, v uint32) {
+		m.MarkValue(mem.Word(v))
+		m.Drain()
+		if heap.IsAllocated(freed) {
+			t.Fatal("freed slot resurrected")
+		}
+		// Idempotence: a second pass adds no marks.
+		before, _ := heap.CountMarked()
+		m.MarkValue(mem.Word(v))
+		m.Drain()
+		after, _ := heap.CountMarked()
+		if after != before {
+			t.Fatalf("marking not idempotent: %d -> %d", before, after)
+		}
+		heap.ClearMarks()
+		m.Reset()
+	})
+}
+
+// FuzzMarkWords scans arbitrary byte strings as root areas under the
+// unaligned policy, checking for panics and for the candidate-count
+// arithmetic.
+func FuzzMarkWords(f *testing.F) {
+	f.Add([]byte{0, 0, 64, 0, 0, 0, 0, 16})
+	f.Add([]byte("hello world, this is static data"))
+
+	space := mem.NewAddressSpace()
+	heap, err := alloc.New(space, alloc.Config{
+		HeapBase:     0x400000,
+		InitialBytes: 64 * 1024,
+		ReserveBytes: 256 * 1024,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := heap.Alloc(2, false); err != nil {
+			f.Fatal(err)
+		}
+	}
+	m := New(heap, Config{Policy: PointerInterior, Alignment: AnyByteOffset})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		words := make([]mem.Word, len(raw)/4)
+		for i := range words {
+			words[i] = mem.Word(uint32(raw[4*i])<<24 | uint32(raw[4*i+1])<<16 |
+				uint32(raw[4*i+2])<<8 | uint32(raw[4*i+3]))
+		}
+		m.MarkWords(words)
+		m.Drain()
+		st := m.Stats()
+		want := uint64(len(words))
+		if len(words) > 1 {
+			want += uint64(3 * (len(words) - 1))
+		}
+		if st.Candidates < want {
+			t.Fatalf("candidates %d < expected minimum %d", st.Candidates, want)
+		}
+		heap.ClearMarks()
+		m.Reset()
+	})
+}

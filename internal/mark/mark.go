@@ -1,0 +1,249 @@
+// Package mark implements the conservative mark phase, including the
+// paper's figure-2 "marking with blacklisting" algorithm.
+//
+// The marker receives candidate pointer values from root areas
+// (registers, the mutator stack, static data segments) and from the
+// fields of marked heap objects, and classifies each one:
+//
+//   - a valid object address (under the configured pointer-validity
+//     policy): the object is marked and queued for scanning, unless the
+//     containing block is pointer-free ("atomic");
+//   - an invalid value in the vicinity of the heap — a value that
+//     "could conceivably become a valid object address as a result of
+//     later allocation": its page is blacklisted (the bold-face lines
+//     in figure 2);
+//   - anything else: ignored.
+//
+// Marking is iterative with an explicit mark stack rather than the
+// figure's recursion, as in the real collector.
+//
+// Root candidate extraction supports two alignment regimes (paper,
+// section 2 and figure 1): word-aligned candidates only, or every byte
+// offset, where "the concatenation of the low order half word of an
+// integer with the high order half word of the next integer can easily
+// be a valid heap address". The unaligned regime reads big-endian
+// words at all four byte offsets, which is how the paper's SPARC
+// compiler's unaligned string constants turn into false pointers.
+package mark
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/blacklist"
+	"repro/internal/mem"
+)
+
+// PointerPolicy selects which candidate values are treated as valid
+// pointers to an object.
+type PointerPolicy int
+
+// Pointer policies.
+const (
+	// PointerBase accepts only object base addresses. "Interior
+	// pointers rarely need to be recognized if old C programs are run
+	// with garbage collection" (paper, footnote 2).
+	PointerBase PointerPolicy = iota
+	// PointerInterior accepts any address inside an object, required
+	// when "array elements can be passed by reference"; it "greatly
+	// increases the chance of misidentification" (paper, section 2).
+	PointerInterior
+)
+
+func (p PointerPolicy) String() string {
+	if p == PointerInterior {
+		return "interior"
+	}
+	return "base"
+}
+
+// AlignPolicy selects how candidates are extracted from root memory.
+type AlignPolicy int
+
+// Alignment policies.
+const (
+	// AlignedWords extracts one candidate per word, the common case on
+	// machines that store pointers at word boundaries.
+	AlignedWords AlignPolicy = iota
+	// AnyByteOffset extracts a candidate at every byte offset, required
+	// "if pointers are not guaranteed to be properly aligned", and
+	// "greatly increasing the number of false pointers" (section 2).
+	AnyByteOffset
+)
+
+func (a AlignPolicy) String() string {
+	if a == AnyByteOffset {
+		return "any-byte-offset"
+	}
+	return "word-aligned"
+}
+
+// Config parameterises a Marker.
+type Config struct {
+	Policy    PointerPolicy
+	Alignment AlignPolicy
+	// Blacklist receives near-heap false references. nil disables
+	// blacklisting (the paper's comparison configuration).
+	Blacklist blacklist.List
+}
+
+// Stats counts one marking cycle's activity (reset by Reset).
+type Stats struct {
+	WordsScanned     uint64 // root words examined
+	Candidates       uint64 // candidate values tested (≥ WordsScanned under AnyByteOffset)
+	ObjectsMarked    uint64
+	BytesMarked      uint64
+	FieldsScanned    uint64 // heap object words examined
+	FalseNearHeap    uint64 // invalid candidates in the heap's vicinity (blacklisted)
+	AtomicSkipped    uint64 // marked objects whose contents were not scanned
+	InteriorResolved uint64 // valid candidates that were not base addresses
+}
+
+// Marker performs conservative marking over one heap.
+type Marker struct {
+	heap  *alloc.Allocator
+	cfg   Config
+	bl    blacklist.List
+	stack []mem.Addr
+	stats Stats
+}
+
+// New creates a marker for the given heap.
+func New(heap *alloc.Allocator, cfg Config) *Marker {
+	bl := cfg.Blacklist
+	if bl == nil {
+		bl = blacklist.Disabled{}
+	}
+	return &Marker{heap: heap, cfg: cfg, bl: bl, stack: make([]mem.Addr, 0, 1024)}
+}
+
+// Config returns the marker's configuration.
+func (m *Marker) Config() Config { return m.cfg }
+
+// Reset clears per-cycle statistics. Mark bits are owned by the
+// allocator and cleared by its sweep.
+func (m *Marker) Reset() {
+	m.stats = Stats{}
+	m.stack = m.stack[:0]
+}
+
+// Stats returns the current cycle's statistics.
+func (m *Marker) Stats() Stats { return m.stats }
+
+// MarkValue processes one candidate value: figure 2 of the paper,
+// without the recursion (the object is pushed for Drain to scan).
+func (m *Marker) MarkValue(v mem.Word) {
+	m.stats.Candidates++
+	p := mem.Addr(v)
+	base, ok := m.heap.FindObject(p, m.cfg.Policy == PointerInterior)
+	if !ok {
+		// "if p is in the vicinity of the heap: add p to blacklist"
+		if m.heap.InVicinity(p) {
+			m.stats.FalseNearHeap++
+			m.bl.Add(p)
+		}
+		return
+	}
+	if p != base {
+		m.stats.InteriorResolved++
+	}
+	if !m.heap.Mark(base) {
+		return // already marked
+	}
+	words, atomic := m.heap.ObjectSpan(base)
+	m.stats.ObjectsMarked++
+	m.stats.BytesMarked += uint64(words * mem.WordBytes)
+	if atomic {
+		m.stats.AtomicSkipped++
+		return
+	}
+	m.stack = append(m.stack, base)
+}
+
+// MarkWords scans a word slice as a root area under the configured
+// alignment policy. The words are interpreted as big-endian for the
+// unaligned regime.
+func (m *Marker) MarkWords(words []mem.Word) {
+	m.stats.WordsScanned += uint64(len(words))
+	for _, w := range words {
+		m.MarkValue(w)
+	}
+	if m.cfg.Alignment == AnyByteOffset {
+		// Candidates straddling word boundaries: big-endian
+		// concatenations of adjacent words at byte offsets 1..3.
+		for i := 0; i+1 < len(words); i++ {
+			hi, lo := uint32(words[i]), uint32(words[i+1])
+			m.MarkValue(mem.Word(hi<<8 | lo>>24))
+			m.MarkValue(mem.Word(hi<<16 | lo>>16))
+			m.MarkValue(mem.Word(hi<<24 | lo>>8))
+		}
+	}
+}
+
+// MarkSegment scans a whole segment's committed words as a root area.
+func (m *Marker) MarkSegment(s *mem.Segment) { m.MarkWords(s.Words()) }
+
+// MarkRootSegments scans every segment flagged as a root in the space.
+func (m *Marker) MarkRootSegments(space *mem.AddressSpace) {
+	for _, s := range space.Roots() {
+		m.MarkSegment(s)
+	}
+}
+
+// ScanObject scans the fields of the object at base as pointer
+// candidates, regardless of the object's own mark state. Minor
+// collections use it to rescan old (marked) objects on dirty pages for
+// old-to-young pointers; atomic objects scan as nothing.
+func (m *Marker) ScanObject(base mem.Addr) {
+	words, kind, desc := m.heap.ScanInfo(base)
+	if kind == alloc.ScanAtomic {
+		return
+	}
+	ws := m.heap.ObjectWords(base, words)
+	if kind == alloc.ScanTyped {
+		// Exact layout information: only the descriptor's pointer
+		// words are candidates ("complete information on the location
+		// of pointers in the heap").
+		for i := 0; i < desc.Words; i++ {
+			if desc.PointerAt(i) {
+				m.stats.FieldsScanned++
+				if w := ws[i]; w != 0 {
+					m.MarkValue(w)
+				}
+			}
+		}
+		return
+	}
+	m.stats.FieldsScanned += uint64(words)
+	for _, w := range ws {
+		if w != 0 { // zero is never a heap address
+			m.MarkValue(w)
+		}
+	}
+}
+
+// Drain transitively scans queued objects until the mark stack is
+// empty. Heap objects are scanned word-aligned regardless of the root
+// alignment policy: the collector allocates objects word-aligned, so
+// "newer compilers almost always guarantee adequate alignment" applies
+// to the heap unconditionally.
+func (m *Marker) Drain() {
+	for len(m.stack) > 0 {
+		obj := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		m.ScanObject(obj)
+	}
+}
+
+// DrainN scans up to n queued objects and reports whether the mark
+// stack is now empty. Incremental collection uses it to bound the
+// marking work done per allocation.
+func (m *Marker) DrainN(n int) bool {
+	for i := 0; i < n && len(m.stack) > 0; i++ {
+		obj := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		m.ScanObject(obj)
+	}
+	return len(m.stack) == 0
+}
+
+// Pending returns the number of objects awaiting scanning.
+func (m *Marker) Pending() int { return len(m.stack) }

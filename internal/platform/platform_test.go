@@ -1,0 +1,201 @@
+package platform
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/simrand"
+)
+
+func TestFillIntTables(t *testing.T) {
+	seg, err := mem.NewSegment("d", mem.KindData, 0x2000, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := TableSpec{Bytes: 4096, SmallFrac: 0.5, Lo: 0x100000, Hi: 0x200000}
+	end := fillIntTables(seg, 0x2000, spec, simrand.New(1))
+	if end != 0x3000 {
+		t.Fatalf("end = %#x", uint32(end))
+	}
+	small, ranged := 0, 0
+	for _, w := range seg.Words() {
+		v := uint32(w)
+		switch {
+		case v < 0x10000:
+			small++
+		case v >= 0x100000 && v < 0x200000:
+			ranged++
+		default:
+			t.Fatalf("value %#x outside both bands", v)
+		}
+	}
+	if small < 400 || ranged < 400 {
+		t.Fatalf("mixture wrong: %d small, %d ranged", small, ranged)
+	}
+}
+
+// bandValues counts word values of the figure-1 form 0x00XXYYZZ with
+// printable XX,YY,ZZ — the values unaligned string boundaries produce.
+func bandValues(seg *mem.Segment) int {
+	n := 0
+	for _, w := range seg.Words() {
+		v := uint32(w)
+		b1, b2, b3 := byte(v>>16), byte(v>>8), byte(v)
+		if v>>24 == 0 && b1 >= 0x20 && b1 < 0x7F && b2 >= 0x20 && b2 < 0x7F && b3 >= 0x20 && b3 < 0x7F {
+			n++
+		}
+	}
+	return n
+}
+
+func TestUnalignedStringsFormPointerLikeWords(t *testing.T) {
+	mk := func(aligned bool) *mem.Segment {
+		seg, _ := mem.NewSegment("d", mem.KindData, 0x2000, 8192, 8192)
+		fillStrings(seg, 0x2000, 8192, aligned, simrand.New(2))
+		return seg
+	}
+	packed := bandValues(mk(false))
+	aligned := bandValues(mk(true))
+	// Packed strings: roughly 1/4 of ~900 boundaries read as 0x00XXYYZZ.
+	if packed < 100 {
+		t.Fatalf("packed strings produced only %d pointer-like words", packed)
+	}
+	if aligned != 0 {
+		t.Fatalf("aligned strings produced %d pointer-like words, want 0", aligned)
+	}
+}
+
+func TestFillStaleStackDensity(t *testing.T) {
+	seg, _ := mem.NewSegment("ts", mem.KindStack, 0x2000, 64*1024, 64*1024)
+	fillStaleStack(seg, 0.1, 0x100000, 0x200000, simrand.New(3))
+	nonzero := 0
+	for _, w := range seg.Words() {
+		if w != 0 {
+			nonzero++
+		}
+	}
+	frac := float64(nonzero) / float64(len(seg.Words()))
+	if frac < 0.05 || frac > 0.15 {
+		t.Fatalf("density = %.3f, want ~0.1", frac)
+	}
+}
+
+func TestProfilesConstruct(t *testing.T) {
+	for _, p := range Table1Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			env, err := p.Build(1, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if env.World.Collections() != 1 {
+				t.Fatalf("startup collection missing: %d", env.World.Collections())
+			}
+			if env.Machine == nil {
+				t.Fatal("no machine")
+			}
+			if p.OtherLiveBytes > 0 {
+				st := env.World.Heap.Stats()
+				if st.BytesLive < uint64(p.OtherLiveBytes)/2 {
+					t.Fatalf("other live data missing: %d live bytes", st.BytesLive)
+				}
+			}
+			if len(p.ThreadStacks) != len(env.threadStacks) {
+				t.Fatal("thread stacks not mapped")
+			}
+		})
+	}
+}
+
+func TestListBytesMatchPaper(t *testing.T) {
+	// Every profile's lists are 100 KB, as in the paper.
+	for _, p := range Table1Profiles() {
+		if p.ListBytes() != 100000 {
+			t.Fatalf("%s list bytes = %d", p.Name, p.ListBytes())
+		}
+	}
+	// And the OS/2 variant allocates 100 lists (10 MB total).
+	if OS2(false).NLists != 100 {
+		t.Fatal("OS/2 should allocate 100 lists")
+	}
+	if p := PCR(0); p.NodeWords != 2 || p.NodesPerList != 12500 {
+		t.Fatal("PCR should use 12500 8-byte cells")
+	}
+}
+
+func TestRunCellDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full program-T run")
+	}
+	a, err := RunCell(SPARCDynamic(false), true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell(SPARCDynamic(false), true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+}
+
+// TestTable1Shape verifies the qualitative content of table 1 on one
+// seed per cell: blacklisting collapses retention near zero everywhere,
+// and the no-blacklist ordering is
+// SPARC(static) > PCR > OS/2 > SPARC(dynamic) > SGI.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full program-T runs")
+	}
+	profiles := []Profile{SPARCStatic(false), SPARCDynamic(false), SGI(false), OS2(false), PCR(0)}
+	type cell struct {
+		off, on float64
+	}
+	results := make([]cell, len(profiles))
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		for _, bl := range []bool{false, true} {
+			wg.Add(1)
+			go func(i int, p Profile, bl bool) {
+				defer wg.Done()
+				f, err := RunCell(p, bl, 7)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if bl {
+					results[i].on = f
+				} else {
+					results[i].off = f
+				}
+			}(i, p, bl)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	static, dynamic, sgi, os2, pcr := results[0], results[1], results[2], results[3], results[4]
+	if !(static.off > pcr.off && pcr.off > os2.off && os2.off > dynamic.off && dynamic.off > sgi.off) {
+		t.Errorf("no-blacklist ordering wrong: static=%.2f pcr=%.2f os2=%.2f dyn=%.2f sgi=%.2f",
+			static.off, pcr.off, os2.off, dynamic.off, sgi.off)
+	}
+	if static.off < 0.6 || static.off > 0.95 {
+		t.Errorf("SPARC static off-band: %.2f", static.off)
+	}
+	for i, c := range results {
+		if c.on > 0.05 {
+			t.Errorf("%s: blacklisting left %.1f%%", profiles[i].Name, 100*c.on)
+		}
+		if c.on > c.off {
+			t.Errorf("%s: blacklisting increased retention", profiles[i].Name)
+		}
+	}
+	// The PCR and OS/2 residuals are nonzero (mutating statics / thread
+	// stacks evade the startup blacklist), unlike SGI's.
+	if pcr.on == 0 {
+		t.Error("PCR residual should be nonzero")
+	}
+}

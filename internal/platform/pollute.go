@@ -1,0 +1,88 @@
+package platform
+
+import (
+	"repro/internal/mem"
+	"repro/internal/simrand"
+)
+
+// TableSpec describes a block of "seemingly random integer values" in
+// static data, like the ">35K of arrays... apparently used for base
+// conversion in the IO library" that the paper identifies as the main
+// source of false references in statically linked SPARC executables.
+type TableSpec struct {
+	// Bytes of table data.
+	Bytes int
+	// SmallFrac of entries are small integers (harmless); the rest are
+	// uniform in [Lo, Hi), the band that may intersect the heap.
+	SmallFrac float64
+	Lo, Hi    uint32
+}
+
+// fillIntTables writes table data into seg starting at off, returning
+// the offset just past it.
+func fillIntTables(seg *mem.Segment, off mem.Addr, spec TableSpec, rng *simrand.Rand) mem.Addr {
+	words := spec.Bytes / mem.WordBytes
+	for i := 0; i < words; i++ {
+		var v uint32
+		if rng.Float64() < spec.SmallFrac {
+			v = rng.Uint32n(65536)
+		} else if spec.Hi > spec.Lo {
+			v = rng.Range(spec.Lo, spec.Hi)
+		}
+		seg.Store(off, mem.Word(v))
+		off += mem.WordBytes
+	}
+	return off
+}
+
+// fillStrings writes NUL-terminated printable ASCII strings into seg
+// starting at off, covering the given byte count, and returns the
+// offset just past them.
+//
+// When aligned is false, strings are packed back to back, so "a
+// trailing NUL character of one string, followed by the first three
+// characters of the next may appear to be a pointer" — a big-endian
+// value 0x00XXYYZZ with printable XX,YY,ZZ, i.e. an address between
+// about 2.1 MB and 8.4 MB (figure-1 territory). When aligned is true
+// each string starts on a word boundary, the compiler behaviour that
+// the paper notes "is easily avoidable on big-endian machines" and
+// that the SGI compiler exhibits.
+func fillStrings(seg *mem.Segment, off mem.Addr, bytes int, aligned bool, rng *simrand.Rand) mem.Addr {
+	end := off + mem.Addr(bytes)
+	for off < end {
+		n := 3 + rng.Intn(10) // string length
+		for i := 0; i < n && off < end; i++ {
+			seg.StoreByte(off, rng.PrintableByte())
+			off++
+		}
+		if off < end {
+			seg.StoreByte(off, 0) // terminating NUL
+			off++
+		}
+		if aligned {
+			next := mem.AlignWordUp(off)
+			for off < next && off < end {
+				seg.StoreByte(off, 0)
+				off++
+			}
+		}
+	}
+	return off
+}
+
+// fillStaleStack fills a root segment with a mixture of zeros, small
+// integers, and values uniform in [lo, hi), modelling an uncleared
+// thread stack or IO buffer.
+func fillStaleStack(seg *mem.Segment, density float64, lo, hi uint32, rng *simrand.Rand) {
+	words := seg.Words()
+	for i := range words {
+		switch {
+		case rng.Float64() >= density:
+			words[i] = 0
+		case rng.Bool(0.5):
+			words[i] = mem.Word(rng.Uint32n(65536))
+		default:
+			words[i] = mem.Word(rng.Range(lo, hi))
+		}
+	}
+}

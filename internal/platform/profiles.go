@@ -1,0 +1,186 @@
+package platform
+
+import "repro/internal/mem"
+
+// Shared geometry. The paper's SunOS executables start at 0x2000 with
+// the heap following a ~140 KB image, which is what places the heap
+// across the 0x00202020–0x007F7F7F band that unaligned string
+// boundaries form (appendix B). We use the same low placement.
+const (
+	defaultArrayBase  = mem.Addr(0x4000)  // program T's a[]
+	defaultStaticBase = mem.Addr(0x8000)  // polluted static data
+	defaultHeapBase   = mem.Addr(0x40000) // heap right after the image
+)
+
+// SPARCStatic is the statically linked SunOS 4.1.1 profile: "the static
+// version of the C library contains several large arrays (totalling
+// more than 35K) of seemingly random integer values, apparently used
+// for base conversion in the IO library", plus ~25 KB of packed,
+// unaligned string constants. This is the paper's worst case: 78–79.5%
+// retention without blacklisting.
+func SPARCStatic(optimized bool) Profile {
+	return Profile{
+		Name:            "SPARC(static)",
+		Optimized:       optimized,
+		HeapBase:        defaultHeapBase,
+		HeapReserve:     48 << 20,
+		InitialHeap:     24 << 20,
+		GCDivisor:       3,
+		StaticArrayBase: defaultArrayBase,
+		StaticBase:      defaultStaticBase,
+		Tables: []TableSpec{
+			{Bytes: 36 * 1024, SmallFrac: 0.3, Lo: 0, Hi: 0x21000000},
+		},
+		StringBytes:     25 * 1024,
+		StringsAligned:  false, // "character strings are not word-aligned by the compiler we used"
+		RegisterWindows: true,
+		FrameSlop:       slop(optimized),
+		BuildRegNoise:   NoiseSpec{Count: 24, Lo: 0, Hi: 0x20000000},
+		MidRegNoise:     NoiseSpec{Count: 24, Lo: 0, Hi: 0x20000000},
+		NLists:          200,
+		NodesPerList:    25000,
+		NodeWords:       1,
+	}
+}
+
+// SPARCDynamic is the dynamically linked SunOS profile: the big libc
+// tables live in the shared library, outside the scanned image, so only
+// a small amount of static data remains. Paper: 8–11.5% without
+// blacklisting, 0–0.5% with.
+func SPARCDynamic(optimized bool) Profile {
+	p := SPARCStatic(optimized)
+	p.Name = "SPARC(dynamic)"
+	p.Tables = []TableSpec{
+		{Bytes: 2 * 1024, SmallFrac: 0.5, Lo: 0, Hi: 0x20000000},
+	}
+	p.StringBytes = 640
+	p.BuildRegNoise = NoiseSpec{Count: 16, Lo: 0, Hi: 0x20000000}
+	p.MidRegNoise = NoiseSpec{Count: 12, Lo: 0, Hi: 0x20000000}
+	return p
+}
+
+// SGI is the SGI 4D/35 IRIX profile: word-aligned strings (the paper
+// notes the big-endian fix "is easily avoidable... such as this one"),
+// a small static image, and noticeably varying register trash after
+// system calls ("the high variation in retained storage is... presumably
+// also due to varying register contents after system call or trap
+// returns"). Paper: 1–8% without blacklisting, 0% with.
+func SGI(optimized bool) Profile {
+	return Profile{
+		Name:            "SGI(static)",
+		Optimized:       optimized,
+		HeapBase:        defaultHeapBase,
+		HeapReserve:     48 << 20,
+		InitialHeap:     24 << 20,
+		GCDivisor:       3,
+		StaticArrayBase: defaultArrayBase,
+		StaticBase:      defaultStaticBase,
+		Tables: []TableSpec{
+			{Bytes: 3 * 1024, SmallFrac: 0.5, Lo: 0, Hi: 0x40000000},
+		},
+		StringBytes:     8 * 1024,
+		StringsAligned:  true,
+		RegisterWindows: false,
+		FrameSlop:       slop(optimized),
+		BuildRegNoise:   NoiseSpec{Count: 8, Lo: 0, Hi: 0x40000000},
+		MidRegNoise:     NoiseSpec{Count: 16, Lo: 0, Hi: 0x40000000},
+		NLists:          200,
+		NodesPerList:    25000,
+		NodeWords:       1,
+	}
+}
+
+// OS2 is the 80486 OS/2 2.0 profile with the IBM C Set/2 compiler.
+// "Program T was modified to only allocate 100 lists totalling 10 MB,
+// due to memory constraints"; "measurements appeared completely
+// reproducible" (no register-window noise on the 486). Paper: 26–28%
+// without blacklisting, 1–3% with.
+func OS2(optimized bool) Profile {
+	return Profile{
+		Name:            "OS/2(static)",
+		Optimized:       optimized,
+		HeapBase:        defaultHeapBase,
+		HeapReserve:     24 << 20,
+		InitialHeap:     12 << 20,
+		GCDivisor:       3,
+		StaticArrayBase: defaultArrayBase,
+		StaticBase:      defaultStaticBase,
+		Tables: []TableSpec{
+			{Bytes: 11 * 1024, SmallFrac: 0.5, Lo: 0, Hi: 0x18000000},
+		},
+		StringBytes:     4 * 1024,
+		StringsAligned:  true, // our simulated machine is big-endian; see DESIGN.md
+		RegisterWindows: false,
+		FrameSlop:       slop(optimized),
+		MutatingStatics: 2,
+		NLists:          100,
+		NodesPerList:    25000,
+		NodeWords:       1,
+	}
+}
+
+// PCR is the Cedar/PCR profile: program T's lists become 12500 8-byte
+// cells, the world carries megabytes of other live data, thread stacks
+// are scanned but never cleared, and a few statics (holding heap-size-
+// derived values) mutate during the run — appendix B's three persistent
+// leak sources. Paper: 44.5–55% without blacklisting, 1.5–3.5% with.
+func PCR(otherLiveBytes int) Profile {
+	if otherLiveBytes == 0 {
+		otherLiveBytes = 4 << 20
+	}
+	return Profile{
+		Name:            "PCR",
+		HeapBase:        defaultHeapBase,
+		HeapReserve:     64 << 20,
+		InitialHeap:     28<<20 + otherLiveBytes,
+		GCDivisor:       3,
+		StaticArrayBase: defaultArrayBase,
+		StaticBase:      defaultStaticBase,
+		Tables: []TableSpec{
+			{Bytes: 16 * 1024, SmallFrac: 0.4, Lo: 0, Hi: 0x20000000},
+		},
+		StringBytes:     6 * 1024,
+		StringsAligned:  true, // "PCR includes only small fractions of the SunOS C library"
+		RegisterWindows: true,
+		FrameSlop:       12,
+		BuildRegNoise:   NoiseSpec{Count: 32, Lo: 0, Hi: 0x20000000},
+		MidRegNoise:     NoiseSpec{Count: 8, Lo: 0, Hi: 0x20000000},
+		ThreadStacks: []ThreadStackSpec{
+			{Bytes: 32 * 1024, Density: 0.05, Lo: 0, Hi: 0x20000000},
+			{Bytes: 32 * 1024, Density: 0.05, Lo: 0, Hi: 0x20000000},
+			{Bytes: 32 * 1024, Density: 0.05, Lo: 0, Hi: 0x20000000},
+			{Bytes: 32 * 1024, Density: 0.05, Lo: 0, Hi: 0x20000000},
+		},
+		MidThreadPokes:  3,
+		MutatingStatics: 3,
+		OtherLiveBytes:  otherLiveBytes,
+		NLists:          200,
+		NodesPerList:    12500,
+		NodeWords:       2,
+	}
+}
+
+// slop returns the frame slop for the optimization level: the
+// unoptimized compiles produce the "unnecessarily large stack frames,
+// parts of which are never written" of section 3.1.
+func slop(optimized bool) int {
+	if optimized {
+		return 4
+	}
+	return 12
+}
+
+// Table1Profiles returns the profiles in the paper's table-1 row order.
+func Table1Profiles() []Profile {
+	return []Profile{
+		SPARCStatic(false),
+		SPARCStatic(true),
+		SPARCDynamic(false),
+		SPARCDynamic(true),
+		SGI(false),
+		SGI(true),
+		OS2(false),
+		OS2(true),
+		PCR(0),
+	}
+}

@@ -1,0 +1,191 @@
+package simrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Seed(7)
+	if r.Uint64() != first {
+		t.Fatal("Seed did not reset the stream")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Rand
+	want := New(0).Uint64()
+	if r.Uint64() != want {
+		t.Fatal("zero value does not behave as New(0)")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	// Roughly uniform: each bucket within 40% of expectation.
+	for v, c := range counts {
+		if c < 600 || c > 1400 {
+			t.Errorf("bucket %d count %d far from uniform", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(100, 200)
+		if v < 100 || v >= 200 {
+			t.Fatalf("Range(100,200) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Range did not panic")
+		}
+	}()
+	r.Range(5, 5)
+}
+
+func TestFloat64InUnitInterval(t *testing.T) {
+	r := New(9)
+	f := func(skip uint8) bool {
+		for i := 0; i < int(skip)%16; i++ {
+			r.Uint64()
+		}
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.23 || got > 0.27 {
+		t.Fatalf("Bool(0.25) hit rate %.4f", got)
+	}
+}
+
+func TestPrintableByte(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		b := r.PrintableByte()
+		if b < 0x20 || b > 0x7E {
+			t.Fatalf("PrintableByte = %#x", b)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) len %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(21)
+	child := r.Split()
+	c1 := child.Uint64()
+	// Recreate the same split from the same parent state.
+	r2 := New(21)
+	child2 := r2.Split()
+	if child2.Uint64() != c1 {
+		t.Fatal("Split not deterministic")
+	}
+	// A child stream differs from the parent stream.
+	r3, c3 := New(21), New(21).Split()
+	diff := false
+	for i := 0; i < 32; i++ {
+		if r3.Uint64() != c3.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("child stream identical to parent stream")
+	}
+}
+
+func TestUint32nAndByte(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint32n(77); v >= 77 {
+			t.Fatalf("Uint32n(77) = %d", v)
+		}
+	}
+	r.Byte() // coverage; any byte is valid
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint32n(0) did not panic")
+		}
+	}()
+	r.Uint32n(0)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}

@@ -1,0 +1,171 @@
+// Package stats provides the small numeric-aggregation and text-table
+// helpers the benchmark harness uses to print paper-style results: the
+// paper reports most measurements as ranges over repeated runs
+// ("79-79.5%"), so Range reproduces that presentation over seed sweeps.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Range aggregates repeated measurements.
+type Range struct {
+	Min, Max, Mean float64
+	N              int
+}
+
+// NewRange aggregates vals; an empty input yields a zero Range.
+func NewRange(vals []float64) Range {
+	if len(vals) == 0 {
+		return Range{}
+	}
+	r := Range{Min: math.Inf(1), Max: math.Inf(-1), N: len(vals)}
+	for i, v := range vals {
+		if v < r.Min {
+			r.Min = v
+		}
+		if v > r.Max {
+			r.Max = v
+		}
+		// Incremental mean: immune to the overflow a plain sum hits on
+		// extreme inputs.
+		r.Mean += (v - r.Mean) / float64(i+1)
+	}
+	return r
+}
+
+// PctString renders the range the way the paper's table 1 does:
+// "79-79.5%", collapsing to a single figure when min and max agree.
+func (r Range) PctString() string {
+	if r.N == 0 {
+		return "-"
+	}
+	lo, hi := Pct(r.Min), Pct(r.Max)
+	if lo == hi {
+		return lo + "%"
+	}
+	return lo + "-" + hi + "%"
+}
+
+// Pct formats a fraction as a percentage with at most one decimal,
+// dropping a trailing ".0" ("0", "0.5", "79.5").
+func Pct(f float64) string {
+	s := fmt.Sprintf("%.1f", 100*f)
+	return strings.TrimSuffix(s, ".0")
+}
+
+// Median returns the median of vals (0 for empty input).
+func Median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Table is a plain-text table with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; short rows are padded with empty cells.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddF appends a row built with fmt.Sprint on each value.
+func (t *Table) AddF(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, fmt.Sprint(c))
+	}
+	t.Add(row...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with a title line, a header row, a rule, and
+// aligned columns separated by two spaces.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown, for
+// regenerating EXPERIMENTS.md sections with gcbench -format markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.rows {
+		row(r)
+	}
+	return b.String()
+}

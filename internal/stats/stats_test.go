@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRange(t *testing.T) {
+	r := NewRange([]float64{0.795, 0.79, 0.792})
+	if r.Min != 0.79 || r.Max != 0.795 || r.N != 3 {
+		t.Fatalf("range = %+v", r)
+	}
+	if r.Mean < 0.79 || r.Mean > 0.795 {
+		t.Fatalf("mean = %v", r.Mean)
+	}
+	if z := NewRange(nil); z.N != 0 || z.PctString() != "-" {
+		t.Fatalf("empty range = %+v %q", z, z.PctString())
+	}
+}
+
+func TestRangeInvariants(t *testing.T) {
+	// Inputs are restricted to the library's domain (fractions and
+	// small magnitudes); astronomically large floats overflow any
+	// single-pass mean.
+	f := func(raw []uint32) bool {
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)/float64(1<<32) - 0.5
+		}
+		r := NewRange(vals)
+		if len(vals) == 0 {
+			return r.N == 0
+		}
+		const eps = 1e-12
+		return r.Min <= r.Mean+eps && r.Mean <= r.Max+eps && r.N == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPctString(t *testing.T) {
+	tests := []struct {
+		vals []float64
+		want string
+	}{
+		{[]float64{0.79, 0.795}, "79-79.5%"},
+		{[]float64{0, 0.005}, "0-0.5%"},
+		{[]float64{0, 0}, "0%"},
+		{[]float64{0.28}, "28%"},
+		{[]float64{0.445, 0.55}, "44.5-55%"},
+	}
+	for _, tt := range tests {
+		if got := NewRange(tt.vals).PctString(); got != tt.want {
+			t.Errorf("PctString(%v) = %q, want %q", tt.vals, got, tt.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.79) != "79" || Pct(0.795) != "79.5" || Pct(0) != "0" {
+		t.Fatalf("Pct wrong: %q %q %q", Pct(0.79), Pct(0.795), Pct(0))
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("Table 1: retention", "Machine", "Optimized?", "No Blacklisting", "Blacklisting")
+	tab.Add("SPARC(static)", "no", "79-79.5%", "0-.5%")
+	tab.AddF("SGI", "yes", 1, 0)
+	out := tab.String()
+	if !strings.Contains(out, "Table 1: retention") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "SPARC(static)") || !strings.Contains(out, "79-79.5%") {
+		t.Error("row content missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as long as the header.
+	if len(lines[3]) < len("SPARC(static)") {
+		t.Error("row too short")
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.Add("x")
+	if !strings.Contains(tab.String(), "x") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := NewTable("Results", "a", "b")
+	tab.Add("x|y", "1")
+	out := tab.Markdown()
+	for _, want := range []string{"**Results**", "| a | b |", "| --- | --- |", `x\|y`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 5 { // title, blank, header, sep, row
+		t.Fatalf("line count = %d:\n%s", lines, out)
+	}
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mark"
+	"repro/internal/mem"
+	"repro/internal/simrand"
+)
+
+// GridKind selects the representation of the section-4 rectangular
+// grid of vertices "linked both horizontally and vertically".
+type GridKind int
+
+// Grid representations.
+const (
+	// GridEmbedded embeds the right/down links in the vertices
+	// themselves (figure 3): "a false reference can be expected to
+	// result in the retention of a large fraction of the structure".
+	GridEmbedded GridKind = iota
+	// GridSeparate threads rows and columns through separate lisp-style
+	// cons cells (figure 4): "at most a single row or column is
+	// affected".
+	GridSeparate
+)
+
+func (k GridKind) String() string {
+	if k == GridSeparate {
+		return "separate-cons"
+	}
+	return "embedded-links"
+}
+
+// Grid is a built rectangular grid, with bookkeeping for retention
+// measurement.
+type Grid struct {
+	Kind       GridKind
+	Rows, Cols int
+	// Objects is every heap object belonging to the structure (vertices,
+	// cons cells, headers).
+	Objects []mem.Addr
+	// RowHeaders and ColHeaders are the traversal entry points.
+	RowHeaders []mem.Addr
+	ColHeaders []mem.Addr
+}
+
+// vertexWordsEmbedded: right, down, payload.
+const vertexWordsEmbedded = 3
+
+// BuildGrid allocates a rows×cols grid in the given representation.
+// Nothing keeps the structure alive except the returned header slices;
+// callers wanting it collectable simply drop the Grid.
+func BuildGrid(w *core.World, rows, cols int, kind GridKind) (*Grid, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("workload: bad grid %dx%d", rows, cols)
+	}
+	g := &Grid{Kind: kind, Rows: rows, Cols: cols}
+	switch kind {
+	case GridEmbedded:
+		return g, buildEmbedded(w, g)
+	case GridSeparate:
+		return g, buildSeparate(w, g)
+	}
+	return nil, fmt.Errorf("workload: unknown grid kind %d", kind)
+}
+
+func buildEmbedded(w *core.World, g *Grid) error {
+	vertices := make([][]mem.Addr, g.Rows)
+	for r := range vertices {
+		vertices[r] = make([]mem.Addr, g.Cols)
+		for c := range vertices[r] {
+			v, err := w.Allocate(vertexWordsEmbedded, false)
+			if err != nil {
+				return err
+			}
+			if err := w.Store(v+8, mem.Word(r*g.Cols+c)); err != nil { // payload
+				return err
+			}
+			vertices[r][c] = v
+			g.Objects = append(g.Objects, v)
+		}
+	}
+	// Link right (word 0) and down (word 1).
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			v := vertices[r][c]
+			if c+1 < g.Cols {
+				if err := w.Store(v, mem.Word(vertices[r][c+1])); err != nil {
+					return err
+				}
+			}
+			if r+1 < g.Rows {
+				if err := w.Store(v+4, mem.Word(vertices[r+1][c])); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for r := 0; r < g.Rows; r++ {
+		g.RowHeaders = append(g.RowHeaders, vertices[r][0])
+	}
+	for c := 0; c < g.Cols; c++ {
+		g.ColHeaders = append(g.ColHeaders, vertices[0][c])
+	}
+	return nil
+}
+
+func buildSeparate(w *core.World, g *Grid) error {
+	// Vertices carry only their payload: no links.
+	vertices := make([][]mem.Addr, g.Rows)
+	for r := range vertices {
+		vertices[r] = make([]mem.Addr, g.Cols)
+		for c := range vertices[r] {
+			v, err := w.Allocate(1, false)
+			if err != nil {
+				return err
+			}
+			if err := w.Store(v, mem.Word(r*g.Cols+c)); err != nil {
+				return err
+			}
+			vertices[r][c] = v
+			g.Objects = append(g.Objects, v)
+		}
+	}
+	// Rows and columns are separate cons-cell lists over the vertices.
+	buildList := func(vs []mem.Addr) (mem.Addr, error) {
+		var head mem.Word
+		for i := len(vs) - 1; i >= 0; i-- {
+			cell, err := cons(w, mem.Word(vs[i]), head)
+			if err != nil {
+				return 0, err
+			}
+			head = mem.Word(cell)
+			g.Objects = append(g.Objects, cell)
+		}
+		return mem.Addr(head), nil
+	}
+	for r := 0; r < g.Rows; r++ {
+		h, err := buildList(vertices[r])
+		if err != nil {
+			return err
+		}
+		g.RowHeaders = append(g.RowHeaders, h)
+	}
+	for c := 0; c < g.Cols; c++ {
+		col := make([]mem.Addr, g.Rows)
+		for r := 0; r < g.Rows; r++ {
+			col[r] = vertices[r][c]
+		}
+		h, err := buildList(col)
+		if err != nil {
+			return err
+		}
+		g.ColHeaders = append(g.ColHeaders, h)
+	}
+	return nil
+}
+
+// FalseRefTrial injects a single false reference to a uniformly random
+// word inside a random object of the structure, marks from it alone,
+// and reports how many of the structure's objects and bytes would be
+// retained. Marks are cleared afterwards; the heap is not swept.
+//
+// This is the paper's section-4 thought experiment made operational:
+// "the impact of an individual false reference is greatly dependent on
+// the data structures involved".
+func FalseRefTrial(w *core.World, objects []mem.Addr, rng *simrand.Rand) (objectsRetained, bytesRetained uint64) {
+	target := objects[rng.Intn(len(objects))]
+	p := target
+	if w.Config().Pointer == mark.PointerInterior {
+		// Under the interior policy any byte of the object is a hit;
+		// vary the offset for realism.
+		words, _ := w.Heap.ObjectSpan(target)
+		p += mem.Addr(rng.Intn(words * mem.WordBytes))
+	}
+	w.Marker.Reset()
+	w.Marker.MarkValue(mem.Word(p))
+	w.Marker.Drain()
+	objectsRetained, bytesRetained = w.Heap.CountMarked()
+	w.Heap.ClearMarks()
+	return objectsRetained, bytesRetained
+}
+
+// GridRetentionStats summarises FalseRefTrial over many trials.
+type GridRetentionStats struct {
+	Kind            GridKind
+	Rows, Cols      int
+	Trials          int
+	TotalObjects    int
+	MeanRetained    float64 // objects
+	MaxRetained     uint64
+	MeanFractionPct float64 // of the structure's object count
+}
+
+// MeasureGridRetention builds a grid, drops all intentional references,
+// and runs trials single-false-reference experiments against it.
+func MeasureGridRetention(w *core.World, rows, cols int, kind GridKind, trials int, seed uint64) (*GridRetentionStats, error) {
+	g, err := BuildGrid(w, rows, cols, kind)
+	if err != nil {
+		return nil, err
+	}
+	rng := simrand.New(seed)
+	var sum, max uint64
+	for i := 0; i < trials; i++ {
+		objs, _ := FalseRefTrial(w, g.Objects, rng)
+		sum += objs
+		if objs > max {
+			max = objs
+		}
+	}
+	n := len(g.Objects)
+	mean := float64(sum) / float64(trials)
+	return &GridRetentionStats{
+		Kind:            kind,
+		Rows:            rows,
+		Cols:            cols,
+		Trials:          trials,
+		TotalObjects:    n,
+		MeanRetained:    mean,
+		MaxRetained:     max,
+		MeanFractionPct: 100 * mean / float64(n),
+	}, nil
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// LazyStream models the second of the paper's section-4 pathological
+// structures: a memoising lazy list, as produced by lazy functional
+// languages or generator idioms. Each cell is (value, next); next is 0
+// until the cell is forced, at which point the successor is allocated
+// and memoised. A consumer that folds over the stream keeps only its
+// current cell reachable — but a single false reference to an early
+// cell retains the entire memoised chain from that point on, because
+// forcing keeps appending to it: unbounded growth from one stray word.
+type LazyStream struct {
+	w        *core.World
+	Produced uint64
+}
+
+// NewLazyStream returns a stream generator over the world.
+func NewLazyStream(w *core.World) *LazyStream { return &LazyStream{w: w} }
+
+// First allocates and returns the first cell.
+func (s *LazyStream) First() (mem.Addr, error) {
+	return s.makeCell()
+}
+
+func (s *LazyStream) makeCell() (mem.Addr, error) {
+	cell, err := cons(s.w, mem.Word(s.Produced), 0)
+	if err != nil {
+		return 0, err
+	}
+	s.Produced++
+	return cell, nil
+}
+
+// Force returns the successor of cell, allocating and memoising it on
+// first use.
+func (s *LazyStream) Force(cell mem.Addr) (mem.Addr, error) {
+	next, err := cdr(s.w, cell)
+	if err != nil {
+		return 0, err
+	}
+	if next != 0 {
+		return mem.Addr(next), nil
+	}
+	nc, err := s.makeCell()
+	if err != nil {
+		return 0, err
+	}
+	return nc, s.w.Store(cell+4, mem.Word(nc))
+}
+
+// LazyStreamResult reports the lazy-stream false-reference experiment.
+type LazyStreamResult struct {
+	FalseRef         bool
+	Steps            int
+	PeakLiveObjects  uint64
+	FinalLiveObjects uint64
+}
+
+// RunLazyStream folds a consumer over steps stream elements, holding
+// only the current cell in a root slot. When falseRef is true, a stray
+// reference to the first cell is planted in the root segment,
+// reproducing the paper's unbounded-retention scenario; when false the
+// collector reclaims the consumed prefix and the live set stays O(1).
+func RunLazyStream(w *core.World, steps int, falseRef bool, rootSeg *mem.Segment, rootSlot mem.Addr) (*LazyStreamResult, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("workload: bad step count %d", steps)
+	}
+	s := NewLazyStream(w)
+	cur, err := s.First()
+	if err != nil {
+		return nil, err
+	}
+	if falseRef {
+		if err := rootSeg.Store(rootSlot, mem.Word(cur)); err != nil {
+			return nil, err
+		}
+	}
+	curSlot := rootSlot + 4
+	var peak uint64
+	for i := 0; i < steps; i++ {
+		if err := rootSeg.Store(curSlot, mem.Word(cur)); err != nil {
+			return nil, err
+		}
+		cur, err = s.Force(cur)
+		if err != nil {
+			return nil, err
+		}
+		if i%1000 == 999 {
+			st := w.Collect()
+			if st.Sweep.ObjectsLive > peak {
+				peak = st.Sweep.ObjectsLive
+			}
+		}
+	}
+	st := w.Collect()
+	return &LazyStreamResult{
+		FalseRef:         falseRef,
+		Steps:            steps,
+		PeakLiveObjects:  peak,
+		FinalLiveObjects: st.Sweep.ObjectsLive,
+	}, nil
+}

@@ -1,0 +1,316 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/simrand"
+)
+
+// ReverseMode selects how the list-reversal benchmark of section 3.1
+// is "compiled".
+type ReverseMode int
+
+// Reversal modes.
+const (
+	// ReverseRecursive models the unoptimized compile: one simulated
+	// stack frame per recursive call, locals spilled to the frame.
+	ReverseRecursive ReverseMode = iota
+	// ReverseLoop models the optimized compile: "the list reversal
+	// routine is tail recursive, and was optimized to a loop, thus
+	// eliminating the problem" — a single frame, locals in registers,
+	// overwritten every iteration.
+	ReverseLoop
+)
+
+func (m ReverseMode) String() string {
+	if m == ReverseLoop {
+		return "loop"
+	}
+	return "recursive"
+}
+
+// ReverseParams configures the section-3.1 benchmark: "a simple program
+// (compiled unoptimized on a SPARC) that recursively and
+// nondestructively reverses a 1000 element list 1000 times".
+type ReverseParams struct {
+	ListLen    int // default 1000
+	Iterations int // default 1000
+	Mode       ReverseMode
+	// ContextMaxWords gives each iteration a random-sized bundle of
+	// caller frames (0..ContextMaxWords words) holding loop temporaries
+	// such as the previous result pointer. This models the surrounding
+	// program's varying stack usage; because those slots are rarely
+	// overwritten at the same depth again, old result pointers linger
+	// exactly as the paper describes. Default 256; ignored in loop
+	// mode (the optimized build keeps temporaries in registers).
+	ContextMaxWords int
+	// SampleEvery controls how often (in iterations) the apparently-
+	// accessible cell count is sampled at the deepest recursion point
+	// (default 10).
+	SampleEvery int
+	// Seed drives the context-size variation.
+	Seed uint64
+}
+
+func (p *ReverseParams) withDefaults() ReverseParams {
+	out := *p
+	if out.ListLen == 0 {
+		out.ListLen = 1000
+	}
+	if out.Iterations == 0 {
+		out.Iterations = 1000
+	}
+	if out.ContextMaxWords == 0 {
+		out.ContextMaxWords = 256
+	}
+	if out.SampleEvery == 0 {
+		out.SampleEvery = 10
+	}
+	return out
+}
+
+// ReverseResult reports a list-reversal run.
+type ReverseResult struct {
+	Params       ReverseParams
+	MaxLiveCells uint64 // maximum apparently-accessible cons cells
+	EndLiveCells uint64 // after the final collection
+	Collections  int
+	Samples      int
+}
+
+func (r ReverseResult) String() string {
+	return fmt.Sprintf("reverse(%v): max %d apparently-live cells, %d at end",
+		r.Params.Mode, r.MaxLiveCells, r.EndLiveCells)
+}
+
+// cons allocates a cons cell (car, cdr).
+func cons(w *core.World, car, cdr mem.Word) (mem.Addr, error) {
+	cell, err := w.Allocate(2, false)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.Store(cell, car); err != nil {
+		return 0, err
+	}
+	return cell, w.Store(cell+mem.WordBytes, cdr)
+}
+
+// car and cdr read cons fields.
+func car(w *core.World, cell mem.Addr) (mem.Word, error) { return w.Load(cell) }
+func cdr(w *core.World, cell mem.Addr) (mem.Word, error) { return w.Load(cell + mem.WordBytes) }
+
+// MakeList builds a list of n cons cells with small-integer cars and
+// returns its head. The partial list is held only in Go-side variables,
+// which the simulated collector cannot see: callers must either disable
+// automatic collection or be building less than one GC trigger's worth
+// of cells. Use MakeListRooted when collections may run mid-build.
+func MakeList(w *core.World, n int) (mem.Addr, error) {
+	var head mem.Word
+	for i := n; i >= 1; i-- {
+		cell, err := cons(w, mem.Word(i), head)
+		if err != nil {
+			return 0, err
+		}
+		head = mem.Word(cell)
+	}
+	return mem.Addr(head), nil
+}
+
+// MakeListRooted builds a list of n cons cells like MakeList, but keeps
+// the running head stored in the given root-segment slot so that
+// collections triggered mid-build cannot reclaim the partial list.
+func MakeListRooted(w *core.World, n int, root *mem.Segment, slot mem.Addr) (mem.Addr, error) {
+	var head mem.Word
+	for i := n; i >= 1; i-- {
+		cell, err := cons(w, mem.Word(i), head)
+		if err != nil {
+			return 0, err
+		}
+		head = mem.Word(cell)
+		if err := root.Store(slot, head); err != nil {
+			return 0, err
+		}
+	}
+	return mem.Addr(head), nil
+}
+
+// ListLen walks a list and returns its length (cycles are a client bug
+// and will loop; tests use it only on proper lists).
+func ListLen(w *core.World, head mem.Addr) (int, error) {
+	n := 0
+	for p := mem.Word(head); p != 0; {
+		next, err := cdr(w, mem.Addr(p))
+		if err != nil {
+			return 0, err
+		}
+		p = next
+		n++
+	}
+	return n, nil
+}
+
+// reverser holds the benchmark state.
+type reverser struct {
+	w            *core.World
+	m            *machine.Machine
+	p            ReverseParams
+	rng          *simrand.Rand
+	maxLive      uint64
+	samples      int
+	sampled      bool // sampled this iteration already
+	consCount    int  // cons cells allocated this iteration
+	sampleTarget int  // sample when consCount reaches this
+}
+
+// noteCons counts an allocation and takes the iteration's sample when
+// the randomly drawn allocation index is reached. Sampling at a random
+// allocation point mirrors the paper's runs, whose collections trigger
+// wherever the heap happens to fill, at an arbitrary stack depth.
+func (r *reverser) noteCons() {
+	r.consCount++
+	if r.sampled || r.consCount < r.sampleTarget {
+		return
+	}
+	r.sampled = true
+	objs, _ := r.w.MarkOnly()
+	r.samples++
+	if objs > r.maxLive {
+		r.maxLive = objs
+	}
+}
+
+// revRecursive is the accumulating nondestructive reversal, one
+// simulated frame per call: rev(l, acc) = l==nil ? acc :
+// rev(cdr l, cons(car l, acc)).
+func (r *reverser) revRecursive(l, acc mem.Addr) (mem.Addr, error) {
+	if l == 0 {
+		return acc, nil
+	}
+	var out mem.Addr
+	err := r.m.WithFrame(2, func(f *machine.Frame) error {
+		f.Store(0, mem.Word(l))
+		f.Store(1, mem.Word(acc))
+		h, err := car(r.w, l)
+		if err != nil {
+			return err
+		}
+		cell, err := cons(r.w, h, mem.Word(acc))
+		if err != nil {
+			return err
+		}
+		r.noteCons()
+		f.Store(1, mem.Word(cell))
+		t, err := cdr(r.w, l)
+		if err != nil {
+			return err
+		}
+		out, err = r.revRecursive(mem.Addr(t), cell)
+		return err
+	})
+	return out, err
+}
+
+// revLoop is the tail-call-optimized form: one frame, two register
+// temporaries overwritten per step.
+func (r *reverser) revLoop(l mem.Addr) (mem.Addr, error) {
+	var acc mem.Addr
+	err := r.m.WithFrame(2, func(f *machine.Frame) error {
+		for l != 0 {
+			h, err := car(r.w, l)
+			if err != nil {
+				return err
+			}
+			cell, err := cons(r.w, h, mem.Word(acc))
+			if err != nil {
+				return err
+			}
+			r.noteCons()
+			acc = cell
+			r.m.SetLocal(0, mem.Word(l))
+			r.m.SetLocal(1, mem.Word(acc))
+			t, err := cdr(r.w, l)
+			if err != nil {
+				return err
+			}
+			l = mem.Addr(t)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return acc, nil
+}
+
+// RunReversal executes the benchmark and reports the maximum
+// apparently-accessible cons-cell count observed, the quantity the
+// paper's section 3.1 compares across stack-clearing strategies.
+func RunReversal(w *core.World, m *machine.Machine, params ReverseParams) (*ReverseResult, error) {
+	p := params.withDefaults()
+	r := &reverser{w: w, m: m, p: p, rng: simrand.New(p.Seed)}
+
+	// The original list is held in a global register for the whole run.
+	orig, err := MakeList(w, p.ListLen)
+	if err != nil {
+		return nil, err
+	}
+	m.SetGlobal(0, mem.Word(orig))
+
+	var prevResult mem.Addr
+	for it := 0; it < p.Iterations; it++ {
+		r.sampled = it%p.SampleEvery != 0
+		r.consCount = 0
+		r.sampleTarget = 1 + r.rng.Intn(p.ListLen)
+		var result mem.Addr
+		if p.Mode == ReverseLoop {
+			// Optimized build: the result register is dead at the call
+			// and reused by the compiler, so the previous list is
+			// unreachable as soon as the new reversal starts.
+			m.SetGlobal(1, 0)
+			result, err = r.revLoop(orig)
+			if err != nil {
+				return nil, err
+			}
+			m.SetGlobal(1, mem.Word(result))
+		} else {
+			// Unoptimized build: a random-sized run of caller frames
+			// precedes the reversal, and the previous result pointer is
+			// parked in one of its slots — where it will linger after
+			// the pop.
+			ctxWords := 1 + r.rng.Intn(p.ContextMaxWords)
+			err = m.WithFrame(ctxWords, func(f *machine.Frame) error {
+				f.Store(r.rng.Intn(ctxWords), mem.Word(prevResult))
+				var err error
+				result, err = r.revRecursive(orig, 0)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		prevResult = result
+		// Top-of-loop bookkeeping (IO, counters) allocates a little
+		// from a shallow stack, which is when stack clearing earns its
+		// keep: "particularly useful when the allocator is invoked on
+		// a stack that is much shorter than the largest one
+		// encountered so far" (section 3.1).
+		for k := 0; k < 4; k++ {
+			if _, err := cons(w, 0, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	w.Collect()
+	st := w.Heap.Stats()
+	return &ReverseResult{
+		Params:       p,
+		MaxLiveCells: r.maxLive,
+		EndLiveCells: st.ObjectsLive,
+		Collections:  w.Collections(),
+		Samples:      r.samples,
+	}, nil
+}

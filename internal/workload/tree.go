@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/simrand"
+)
+
+// Tree is a balanced binary tree built in the simulated heap; node
+// layout is (left, right, value).
+type Tree struct {
+	Root  mem.Addr
+	Nodes []mem.Addr
+	Depth int
+}
+
+// BuildBalancedTree allocates a perfect binary tree of the given depth
+// (2^depth - 1 nodes).
+func BuildBalancedTree(w *core.World, depth int) (*Tree, error) {
+	if depth < 1 || depth > 24 {
+		return nil, fmt.Errorf("workload: bad tree depth %d", depth)
+	}
+	t := &Tree{Depth: depth}
+	var build func(d int) (mem.Addr, error)
+	build = func(d int) (mem.Addr, error) {
+		node, err := w.Allocate(3, false)
+		if err != nil {
+			return 0, err
+		}
+		t.Nodes = append(t.Nodes, node)
+		if err := w.Store(node+8, mem.Word(len(t.Nodes))); err != nil {
+			return 0, err
+		}
+		if d > 1 {
+			l, err := build(d - 1)
+			if err != nil {
+				return 0, err
+			}
+			r, err := build(d - 1)
+			if err != nil {
+				return 0, err
+			}
+			if err := w.Store(node, mem.Word(l)); err != nil {
+				return 0, err
+			}
+			if err := w.Store(node+4, mem.Word(r)); err != nil {
+				return 0, err
+			}
+		}
+		return node, nil
+	}
+	root, err := build(depth)
+	if err != nil {
+		return nil, err
+	}
+	t.Root = root
+	return t, nil
+}
+
+// TreeRetentionStats summarises false-reference trials against a tree.
+type TreeRetentionStats struct {
+	Depth        int
+	Nodes        int
+	Trials       int
+	MeanRetained float64
+	// TheoryRetained is the paper's prediction: "the expected number of
+	// vertices retained as a result of a false reference to a balanced
+	// binary tree with child links is approximately equal to the height
+	// of the tree" (the average subtree size over uniformly random
+	// nodes is depth-ish: sum of subtree sizes / n ≈ log2 n).
+	TheoryRetained float64
+}
+
+// MeasureTreeRetention builds a balanced tree and measures the expected
+// retention from a single false reference to a uniformly random node.
+func MeasureTreeRetention(w *core.World, depth, trials int, seed uint64) (*TreeRetentionStats, error) {
+	t, err := BuildBalancedTree(w, depth)
+	if err != nil {
+		return nil, err
+	}
+	rng := simrand.New(seed)
+	var sum uint64
+	for i := 0; i < trials; i++ {
+		objs, _ := FalseRefTrial(w, t.Nodes, rng)
+		sum += objs
+	}
+	n := len(t.Nodes)
+	// Exact expectation: sum over nodes of their subtree size, over n.
+	// For a perfect tree of depth d: sum_{k=1..d} k-th level subtree
+	// sizes = sum_{j=1..d} 2^(d-j) * (2^j - 1).
+	var subtreeSum float64
+	for j := 1; j <= depth; j++ {
+		subtreeSum += math.Exp2(float64(depth-j)) * (math.Exp2(float64(j)) - 1)
+	}
+	return &TreeRetentionStats{
+		Depth:          depth,
+		Nodes:          n,
+		Trials:         trials,
+		MeanRetained:   float64(sum) / float64(trials),
+		TheoryRetained: subtreeSum / float64(n),
+	}, nil
+}
+
+// Queue is the section-4 pathological structure: "queues and lazy
+// lists in particular have the problem that they grow without bound,
+// but typically only a section of bounded length is accessible at any
+// point. A false reference can result in retention of all the
+// inaccessible elements, and thus unbounded heap growth."
+//
+// Cells are cons pairs (value, next). head/tail are the live window.
+type Queue struct {
+	w          *core.World
+	head, tail mem.Addr
+	// ClearLinks applies the paper's fix: "queues no longer grow
+	// without bound if the queue link field is cleared when an item is
+	// removed".
+	ClearLinks bool
+	Enqueued   uint64
+	Dequeued   uint64
+}
+
+// NewQueue creates an empty queue in the world.
+func NewQueue(w *core.World, clearLinks bool) *Queue {
+	return &Queue{w: w, ClearLinks: clearLinks}
+}
+
+// Head returns the current head cell (0 when empty). The caller is
+// responsible for keeping it visible to the collector via a root.
+func (q *Queue) Head() mem.Addr { return q.head }
+
+// Len returns the live window length.
+func (q *Queue) Len() int { return int(q.Enqueued - q.Dequeued) }
+
+// Enqueue appends a value.
+func (q *Queue) Enqueue(v mem.Word) (mem.Addr, error) {
+	cell, err := cons(q.w, v, 0)
+	if err != nil {
+		return 0, err
+	}
+	if q.tail != 0 {
+		if err := q.w.Store(q.tail+4, mem.Word(cell)); err != nil {
+			return 0, err
+		}
+	} else {
+		q.head = cell
+	}
+	q.tail = cell
+	q.Enqueued++
+	return cell, nil
+}
+
+// Dequeue removes and returns the head value.
+func (q *Queue) Dequeue() (mem.Word, error) {
+	if q.head == 0 {
+		return 0, fmt.Errorf("workload: dequeue on empty queue")
+	}
+	v, err := car(q.w, q.head)
+	if err != nil {
+		return 0, err
+	}
+	next, err := cdr(q.w, q.head)
+	if err != nil {
+		return 0, err
+	}
+	if q.ClearLinks {
+		// "Note that clearing links is much safer than explicit
+		// deallocation, since an error cannot result in random
+		// overwrites of unrelated modules' data."
+		if err := q.w.Store(q.head+4, 0); err != nil {
+			return 0, err
+		}
+	}
+	q.head = mem.Addr(next)
+	if q.head == 0 {
+		q.tail = 0
+	}
+	q.Dequeued++
+	return v, nil
+}
+
+// QueueChurnResult reports the queue false-reference experiment.
+type QueueChurnResult struct {
+	ClearLinks       bool
+	Window           int
+	Steps            int
+	PeakLiveObjects  uint64 // apparently-live objects at the worst collection
+	FinalLiveObjects uint64
+	HeapBytes        int
+}
+
+// RunQueueChurn drives a bounded-window queue through steps
+// enqueue/dequeue pairs while a false reference to one early cell sits
+// in a root segment, collecting periodically. Without link clearing the
+// false reference retains every cell enqueued after it; with clearing
+// it retains one cell.
+func RunQueueChurn(w *core.World, window, steps int, clearLinks bool, rootSeg *mem.Segment, rootSlot mem.Addr) (*QueueChurnResult, error) {
+	q := NewQueue(w, clearLinks)
+	// Fill the window.
+	for i := 0; i < window; i++ {
+		if _, err := q.Enqueue(mem.Word(i)); err != nil {
+			return nil, err
+		}
+	}
+	// Plant the false reference: an early interior cell, as if an
+	// integer somewhere happened to hold its address.
+	victim, err := q.Enqueue(0xFEED)
+	if err != nil {
+		return nil, err
+	}
+	if err := rootSeg.Store(rootSlot, mem.Word(victim)); err != nil {
+		return nil, err
+	}
+
+	headSlot := rootSlot + 4 // the queue's real root
+	var peak uint64
+	for i := 0; i < steps; i++ {
+		if _, err := q.Enqueue(mem.Word(i)); err != nil {
+			return nil, err
+		}
+		if _, err := q.Dequeue(); err != nil {
+			return nil, err
+		}
+		if err := rootSeg.Store(headSlot, mem.Word(q.Head())); err != nil {
+			return nil, err
+		}
+		if i%1000 == 999 {
+			st := w.Collect()
+			if st.Sweep.ObjectsLive > peak {
+				peak = st.Sweep.ObjectsLive
+			}
+		}
+	}
+	st := w.Collect()
+	return &QueueChurnResult{
+		ClearLinks:       clearLinks,
+		Window:           window,
+		Steps:            steps,
+		PeakLiveObjects:  peak,
+		FinalLiveObjects: st.Sweep.ObjectsLive,
+		HeapBytes:        w.Heap.Stats().HeapBytes,
+	}, nil
+}

@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// PCRSweepRow is one world size's retention (E9).
+type PCRSweepRow struct {
+	OtherLiveMB    float64
+	NoBlacklisting stats.Range
+	Blacklisting   stats.Range
+}
+
+// PCRSweep reproduces appendix B's PCR observation: "the experiments
+// were run with very different sized Cedar address spaces, ranging from
+// 1.5 to about 13 MB of other live data... Interestingly, the number of
+// loaded packages had minimal effect on the amount of retained
+// storage." Retention should be roughly invariant in the other-live-
+// data size, because the false references come from PCR's own statics
+// and thread stacks, not from the loaded packages.
+func PCRSweep(otherLiveMB []float64, seeds, parallel int) ([]PCRSweepRow, *stats.Table, error) {
+	if len(otherLiveMB) == 0 {
+		otherLiveMB = []float64{1.5, 4, 8, 13}
+	}
+	if seeds <= 0 {
+		seeds = 2
+	}
+	if parallel <= 0 {
+		parallel = 8
+	}
+	type key struct {
+		row       int
+		blacklist bool
+	}
+	results := make(map[key][]float64)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallel)
+	for i, mb := range otherLiveMB {
+		p := platform.PCR(int(mb * (1 << 20)))
+		for _, bl := range []bool{false, true} {
+			for s := 0; s < seeds; s++ {
+				wg.Add(1)
+				go func(i int, p Profile, bl bool, seed uint64) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					f, err := platform.RunCell(p, bl, seed)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("PCR %v: %w", bl, err)
+						return
+					}
+					results[key{i, bl}] = append(results[key{i, bl}], f)
+				}(i, p, bl, uint64(s)+1)
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	var rows []PCRSweepRow
+	tab := stats.NewTable("Appendix B: PCR retention vs Cedar world size",
+		"Other live data", "No Blacklisting", "Blacklisting")
+	for i, mb := range otherLiveMB {
+		r := PCRSweepRow{
+			OtherLiveMB:    mb,
+			NoBlacklisting: stats.NewRange(results[key{i, false}]),
+			Blacklisting:   stats.NewRange(results[key{i, true}]),
+		}
+		rows = append(rows, r)
+		tab.AddF(fmt.Sprintf("%.1f MB", mb), r.NoBlacklisting.PctString(), r.Blacklisting.PctString())
+	}
+	return rows, tab, nil
+}

@@ -1,0 +1,222 @@
+// Package repro is a reproduction of "Space Efficient Conservative
+// Garbage Collection" (Hans-J. Boehm, PLDI 1993) as a Go library.
+//
+// The paper's collector manages the malloc heap of a real 32-bit
+// process and scans its registers, stack and static data
+// conservatively. Go's runtime owns the real stack and heap, so this
+// library builds the collector on a faithful substrate instead: a
+// simulated 32-bit word-addressed address space (internal/mem), a
+// mutator machine with SPARC-style register windows and a downward
+// stack (internal/machine), a Boehm-Weiser block allocator
+// (internal/alloc), and a conservative marker implementing the paper's
+// figure-2 blacklisting algorithm (internal/mark). See DESIGN.md for
+// the full inventory and EXPERIMENTS.md for paper-versus-measured
+// results.
+//
+// # Quick start
+//
+//	w, err := repro.NewWorld(repro.Config{Blacklisting: repro.BlacklistDense})
+//	if err != nil { ... }
+//	data, _ := w.Space.MapNew("globals", repro.KindData, 0x2000, 4096, 4096)
+//	obj, _ := w.Allocate(2, false)      // a two-word object
+//	data.Store(0x2000, repro.Word(obj)) // root it
+//	w.Collect()                         // obj survives
+//
+// The experiment drivers (Table1, Figure1, StackClearing, ...) each
+// regenerate one of the paper's tables or figures; cmd/gcbench wraps
+// them in a command-line tool.
+package repro
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/blacklist"
+	"repro/internal/core"
+	"repro/internal/inspect"
+	"repro/internal/machine"
+	"repro/internal/mark"
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Core simulated-memory types.
+type (
+	// Addr is a byte address in the simulated 32-bit address space.
+	Addr = mem.Addr
+	// Word is the contents of one 32-bit memory word.
+	Word = mem.Word
+	// Segment is a contiguous run of simulated memory.
+	Segment = mem.Segment
+	// AddressSpace is an ordered collection of segments.
+	AddressSpace = mem.AddressSpace
+	// Kind classifies a segment (text, data, stack, heap).
+	Kind = mem.Kind
+)
+
+// Segment kinds.
+const (
+	KindText  = mem.KindText
+	KindData  = mem.KindData
+	KindStack = mem.KindStack
+	KindHeap  = mem.KindHeap
+	KindOther = mem.KindOther
+)
+
+// Fundamental sizes of the simulated machine.
+const (
+	WordBytes = mem.WordBytes
+	PageBytes = mem.PageBytes
+)
+
+// Collector types.
+type (
+	// World is one simulated process image under garbage collection.
+	World = core.World
+	// Config parameterises a World.
+	Config = core.Config
+	// CollectionStats describes one collection.
+	CollectionStats = core.CollectionStats
+	// BlacklistMode selects the blacklist representation.
+	BlacklistMode = core.BlacklistMode
+	// PointerPolicy selects pointer-validity rules.
+	PointerPolicy = mark.PointerPolicy
+	// AlignPolicy selects candidate extraction alignment.
+	AlignPolicy = mark.AlignPolicy
+	// BlacklistStats counts blacklist activity.
+	BlacklistStats = blacklist.Stats
+	// AllocStats reports allocator activity.
+	AllocStats = alloc.Stats
+	// FreeBlockPolicy selects free-block management.
+	FreeBlockPolicy = alloc.FreeBlockPolicy
+)
+
+// Blacklist modes (paper, section 3).
+const (
+	BlacklistOff    = core.BlacklistOff
+	BlacklistDense  = core.BlacklistDense
+	BlacklistHashed = core.BlacklistHashed
+)
+
+// Pointer-validity policies (paper, section 2).
+const (
+	PointerBase     = mark.PointerBase
+	PointerInterior = mark.PointerInterior
+)
+
+// Candidate alignment policies (paper, section 2 and figure 1).
+const (
+	AlignedWords  = mark.AlignedWords
+	AnyByteOffset = mark.AnyByteOffset
+)
+
+// Free-block policies (paper, conclusions).
+const (
+	AddressOrdered = alloc.AddressOrdered
+	LIFO           = alloc.LIFO
+)
+
+// NewWorld builds a collected world with the given configuration.
+func NewWorld(cfg Config) (*World, error) { return core.NewWorld(nil, cfg) }
+
+// NewWorldIn builds a collected world inside an existing address space.
+func NewWorldIn(space *AddressSpace, cfg Config) (*World, error) {
+	return core.NewWorld(space, cfg)
+}
+
+// Mutator machine types.
+type (
+	// Machine is a simulated mutator (registers + stack).
+	Machine = machine.Machine
+	// MachineConfig parameterises a Machine.
+	MachineConfig = machine.Config
+	// Frame is a live activation record.
+	Frame = machine.Frame
+	// ClearPolicy selects the stack-hygiene strategy (section 3.1).
+	ClearPolicy = machine.ClearPolicy
+)
+
+// Stack clearing policies (paper, section 3.1).
+const (
+	ClearNone  = machine.ClearNone
+	ClearCheap = machine.ClearCheap
+	ClearEager = machine.ClearEager
+)
+
+// NewMachine creates a mutator machine in the world's address space and
+// attaches it as the world's root source.
+func NewMachine(w *World, cfg MachineConfig) (*Machine, error) {
+	m, err := machine.New(w.Space, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.SetMutator(m)
+	return m, nil
+}
+
+// Platform profiles (paper, table 1 and appendix B).
+type (
+	// Profile describes one table-1 environment.
+	Profile = platform.Profile
+	// Env is a built environment ready to run program T.
+	Env = platform.Env
+)
+
+// Table-1 environment constructors.
+var (
+	SPARCStatic  = platform.SPARCStatic
+	SPARCDynamic = platform.SPARCDynamic
+	SGI          = platform.SGI
+	OS2          = platform.OS2
+	PCR          = platform.PCR
+)
+
+// Workload types (paper, appendix A and sections 3.1 and 4).
+type (
+	// ProgramTParams configures program T.
+	ProgramTParams = workload.ProgramTParams
+	// ProgramTResult reports a program-T run.
+	ProgramTResult = workload.ProgramTResult
+	// ReverseParams configures the list-reversal benchmark.
+	ReverseParams = workload.ReverseParams
+	// ReverseMode selects recursive vs loop compilation.
+	ReverseMode = workload.ReverseMode
+	// GridKind selects embedded vs separate grid links.
+	GridKind = workload.GridKind
+	// Queue is the section-4 bounded-window queue.
+	Queue = workload.Queue
+	// LazyStream is the section-4 memoising stream.
+	LazyStream = workload.LazyStream
+)
+
+// Workload constants and constructors.
+const (
+	ReverseRecursive = workload.ReverseRecursive
+	ReverseLoop      = workload.ReverseLoop
+	GridEmbedded     = workload.GridEmbedded
+	GridSeparate     = workload.GridSeparate
+)
+
+// Workload entry points.
+var (
+	RunProgramT    = workload.RunProgramT
+	RunReversal    = workload.RunReversal
+	BuildGrid      = workload.BuildGrid
+	NewQueue       = workload.NewQueue
+	NewLazyStream  = workload.NewLazyStream
+	MakeList       = workload.MakeList
+	MakeListRooted = workload.MakeListRooted
+)
+
+// HeapMap renders the world's heap as one character per block (see
+// cmd/heapdump for the legend), width blocks per line.
+func HeapMap(w *World, width int) string {
+	return inspect.HeapMap(w.Heap, w.Blacklist, width)
+}
+
+// Summary renders the world's allocator, blacklist and collection
+// statistics as text.
+func Summary(w *World) string { return inspect.Summary(w) }
+
+// TraceLine renders one collection in the style of the Go runtime's
+// gctrace lines; pair it with World.SetCollectionHook.
+func TraceLine(n int, st CollectionStats) string { return inspect.TraceLine(n, st) }

@@ -1,0 +1,197 @@
+package repro
+
+import (
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// GridsOptions configures the figure-3/4 experiment (E4).
+type GridsOptions struct {
+	Rows, Cols int // default 100x100
+	Trials     int // default 500
+	Seed       uint64
+}
+
+// GridRow is one grid representation's retention summary.
+type GridRow struct {
+	Kind            GridKind
+	TotalObjects    int
+	MeanRetained    float64
+	MaxRetained     uint64
+	MeanFractionPct float64
+}
+
+// Grids reproduces figures 3 and 4: the expected consequence of a
+// single false reference into a rectangular grid represented with
+// embedded links versus separate cons cells. "In the former case, a
+// false reference can be expected to result in the retention of a
+// large fraction of the structure. In the latter case, at most a
+// single row or column is affected."
+func Grids(opt GridsOptions) ([]GridRow, *stats.Table, error) {
+	if opt.Rows == 0 {
+		opt.Rows = 100
+	}
+	if opt.Cols == 0 {
+		opt.Cols = 100
+	}
+	if opt.Trials == 0 {
+		opt.Trials = 500
+	}
+	var rows []GridRow
+	for _, kind := range []GridKind{GridEmbedded, GridSeparate} {
+		w, err := NewWorld(Config{
+			InitialHeapBytes: 8 << 20,
+			ReserveHeapBytes: 32 << 20,
+			GCDivisor:        -1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := workload.MeasureGridRetention(w, opt.Rows, opt.Cols, kind, opt.Trials, opt.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, GridRow{
+			Kind:            kind,
+			TotalObjects:    st.TotalObjects,
+			MeanRetained:    st.MeanRetained,
+			MaxRetained:     st.MaxRetained,
+			MeanFractionPct: st.MeanFractionPct,
+		})
+	}
+	tab := stats.NewTable("Figures 3/4: retention from one false reference into a grid",
+		"Representation", "Objects", "Mean retained", "Max retained", "Mean % of structure")
+	for _, r := range rows {
+		tab.AddF(r.Kind, r.TotalObjects, int(r.MeanRetained+0.5), r.MaxRetained,
+			stats.Pct(r.MeanFractionPct/100))
+	}
+	return rows, tab, nil
+}
+
+// TreeRow is one tree depth's retention summary (E6).
+type TreeRow struct {
+	Depth          int
+	Nodes          int
+	MeanRetained   float64
+	TheoryRetained float64
+}
+
+// Trees measures the expected retention from a single false reference
+// into balanced binary trees of several depths, against the paper's
+// prediction that it is "approximately equal to the height of the
+// tree".
+func Trees(depths []int, trials int, seed uint64) ([]TreeRow, *stats.Table, error) {
+	if len(depths) == 0 {
+		depths = []int{8, 12, 16}
+	}
+	if trials == 0 {
+		trials = 2000
+	}
+	var rows []TreeRow
+	for _, d := range depths {
+		w, err := NewWorld(Config{
+			InitialHeapBytes: 16 << 20,
+			ReserveHeapBytes: 64 << 20,
+			GCDivisor:        -1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := workload.MeasureTreeRetention(w, d, trials, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, TreeRow{
+			Depth:          d,
+			Nodes:          st.Nodes,
+			MeanRetained:   st.MeanRetained,
+			TheoryRetained: st.TheoryRetained,
+		})
+	}
+	tab := stats.NewTable("Section 4: balanced-tree retention from one false reference",
+		"Depth", "Nodes", "Mean retained", "Theory (~height)")
+	for _, r := range rows {
+		tab.AddF(r.Depth, r.Nodes, fmtF(r.MeanRetained), fmtF(r.TheoryRetained))
+	}
+	return rows, tab, nil
+}
+
+// QueueRow summarises one queue-churn configuration (E6).
+type QueueRow struct {
+	Structure        string
+	Mitigated        bool // links cleared / no false ref
+	PeakLiveObjects  uint64
+	FinalLiveObjects uint64
+}
+
+// QueuesAndStreams reproduces section 4's unbounded-growth pathologies:
+// a bounded-window queue and a memoising lazy stream, each pinned by a
+// single false reference, with and without the paper's mitigation
+// (clearing the link field on removal).
+func QueuesAndStreams(window, steps int, seed uint64) ([]QueueRow, *stats.Table, error) {
+	if window == 0 {
+		window = 100
+	}
+	if steps == 0 {
+		steps = 50000
+	}
+	var rows []QueueRow
+	for _, clear := range []bool{false, true} {
+		w, err := NewWorld(Config{
+			InitialHeapBytes: 4 << 20,
+			ReserveHeapBytes: 64 << 20,
+			GCDivisor:        -1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		root, err := w.Space.MapNew("roots", KindData, 0x2000, 4096, 4096)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := workload.RunQueueChurn(w, window, steps, clear, root, 0x2000)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, QueueRow{
+			Structure:        "queue + false ref",
+			Mitigated:        clear,
+			PeakLiveObjects:  res.PeakLiveObjects,
+			FinalLiveObjects: res.FinalLiveObjects,
+		})
+	}
+	for _, falseRef := range []bool{true, false} {
+		w, err := NewWorld(Config{
+			InitialHeapBytes: 4 << 20,
+			ReserveHeapBytes: 64 << 20,
+			GCDivisor:        -1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		root, err := w.Space.MapNew("roots", KindData, 0x2000, 4096, 4096)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := workload.RunLazyStream(w, steps, falseRef, root, 0x2000)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, QueueRow{
+			Structure:        "lazy stream",
+			Mitigated:        !falseRef,
+			PeakLiveObjects:  res.PeakLiveObjects,
+			FinalLiveObjects: res.FinalLiveObjects,
+		})
+	}
+	tab := stats.NewTable("Section 4: unbounded structures pinned by one false reference",
+		"Structure", "Mitigated?", "Peak live objects", "Final live objects")
+	for _, r := range rows {
+		tab.AddF(r.Structure, r.Mitigated, r.PeakLiveObjects, r.FinalLiveObjects)
+	}
+	return rows, tab, nil
+}
+
+func fmtF(f float64) string {
+	return stats.Pct(f / 100) // reuse the 1-decimal formatter
+}

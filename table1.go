@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// Table1Options configures the table-1 reproduction (experiment E1 in
+// DESIGN.md).
+type Table1Options struct {
+	// Seeds is how many seeds each cell is run with (default 3); the
+	// result is reported as a min-max range like the paper's.
+	Seeds int
+	// Parallel bounds concurrent runs (default 8). Runs are in
+	// independent worlds, so parallelism only affects wall time.
+	Parallel int
+	// Profiles defaults to platform.Table1Profiles().
+	Profiles []Profile
+}
+
+// Table1Row is one row of the reproduced table.
+type Table1Row struct {
+	Machine        string
+	Optimized      bool
+	NoBlacklisting stats.Range // retained fraction
+	Blacklisting   stats.Range
+}
+
+// Table1 reruns program T under every table-1 configuration and returns
+// the reproduced rows plus a formatted table: "storage retention with
+// and without blacklisting".
+func Table1(opt Table1Options) ([]Table1Row, *stats.Table, error) {
+	if opt.Seeds <= 0 {
+		opt.Seeds = 3
+	}
+	if opt.Parallel <= 0 {
+		opt.Parallel = 8
+	}
+	profiles := opt.Profiles
+	if profiles == nil {
+		profiles = platform.Table1Profiles()
+	}
+
+	type cellKey struct {
+		row       int
+		blacklist bool
+	}
+	results := make(map[cellKey][]float64)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Parallel)
+	for i, p := range profiles {
+		for _, bl := range []bool{false, true} {
+			for s := 0; s < opt.Seeds; s++ {
+				wg.Add(1)
+				go func(i int, p Profile, bl bool, seed uint64) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					f, err := platform.RunCell(p, bl, seed)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%s (blacklist=%v): %w", p.Name, bl, err)
+						}
+						return
+					}
+					k := cellKey{i, bl}
+					results[k] = append(results[k], f)
+				}(i, p, bl, uint64(s)+1)
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	rows := make([]Table1Row, len(profiles))
+	tab := stats.NewTable("Table 1: storage retention with and without blacklisting",
+		"Machine", "Optimized?", "No Blacklisting", "Blacklisting")
+	for i, p := range profiles {
+		rows[i] = Table1Row{
+			Machine:        p.Name,
+			Optimized:      p.Optimized,
+			NoBlacklisting: stats.NewRange(results[cellKey{i, false}]),
+			Blacklisting:   stats.NewRange(results[cellKey{i, true}]),
+		}
+		optStr := "no"
+		if p.Optimized {
+			optStr = "yes"
+		}
+		if p.Name == "PCR" {
+			optStr = "mixed"
+		}
+		tab.Add(p.Name, optStr, rows[i].NoBlacklisting.PctString(), rows[i].Blacklisting.PctString())
+	}
+	return rows, tab, nil
+}
