@@ -1,0 +1,29 @@
+# CI entry points. `make ci` is what a pipeline should run; the
+# individual targets exist for local iteration.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench markbench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel mark phase must be clean under the race detector; the
+# internal packages hold all of its tests (differential, fuzz seeds).
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .
+
+# Regenerates BENCH_1.json (parallel mark scaling, machine-readable).
+markbench:
+	$(GO) run ./cmd/gcbench -experiment markbench -benchjson BENCH_1.json

@@ -26,9 +26,11 @@
 //	typed       E15: conservative vs exact heap layouts (introduction)
 //	pauses      E16: stop-the-world vs incremental vs generational pauses
 //	obs5        E17: residual references die under continued execution
+//	markbench   parallel mark-phase scaling by worker count
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,11 +41,12 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|all)")
+	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|all)")
 	seeds      = flag.Int("seeds", 3, "seeds per table-1 and pcrsweep cell")
 	parallel   = flag.Int("parallel", 8, "concurrent runs for table-1 style sweeps")
 	seed       = flag.Uint64("seed", 1, "base seed for single-run experiments")
 	format     = flag.String("format", "text", "table output format: text|markdown")
+	benchJSON  = flag.String("benchjson", "", "write markbench results as JSON to this file")
 )
 
 // printTable renders a result table in the selected format.
@@ -74,11 +77,12 @@ func main() {
 		"pcrsweep":   runPCRSweep,
 		"frag":       runFrag,
 		"dualrun":    runDualRun,
+		"markbench":  runMarkBench,
 	}
 	order := []string{
 		"table1", "figure1", "stackclear", "grids", "structures",
 		"overhead", "largeobj", "pcrsweep", "frag", "dualrun", "genceiling",
-		"placement", "atomic", "typed", "pauses", "obs5",
+		"placement", "atomic", "typed", "pauses", "obs5", "markbench",
 	}
 	var todo []string
 	if *experiment == "all" {
@@ -275,6 +279,28 @@ func runPauses() error {
 	fmt.Println("Paper (introduction): \"concurrent collectors that greatly reduce client")
 	fmt.Println("pause times\" [8] and generational conservative collectors [13] both exist;")
 	fmt.Println("this reproduces their pause profiles on the same substrate.")
+	return nil
+}
+
+func runMarkBench() error {
+	res, tab, err := repro.MarkBench(repro.MarkBenchOptions{})
+	if err != nil {
+		return err
+	}
+	printTable(tab)
+	fmt.Println("Parallel marking is not in the paper; it shards the figure-2 mark phase")
+	fmt.Println("with CAS mark bits and work stealing, marking the identical object set.")
+	fmt.Println("Speedups require real cores: on GOMAXPROCS=1 the rows measure overhead.")
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
 	return nil
 }
 

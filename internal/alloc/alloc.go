@@ -35,6 +35,8 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"repro/internal/blacklist"
 	"repro/internal/mem"
@@ -266,6 +268,18 @@ type Allocator struct {
 	typedFree   map[typedKey]mem.Addr
 	descriptors []Descriptor
 	stats       Stats
+	// hullLo/hullHi cache the reserved-range hull over all extents:
+	// every address any extent could ever commit lies in [hullLo,
+	// hullHi). The marker's candidate fast path rejects the common
+	// non-pointer root word with these two compares before paying for
+	// an extent search. Maintained by New and addExtent.
+	hullLo, hullHi mem.Addr
+	// lastExtent caches the extent index of the most recent successful
+	// extentOfAddr lookup. Pointer candidates cluster, so the cache
+	// turns the multi-extent search into one bounds check in the common
+	// case. Atomic because parallel mark workers share the allocator
+	// read-only except for this hint.
+	lastExtent atomic.Int32
 }
 
 // typedKey identifies a typed free list.
@@ -292,6 +306,8 @@ func New(space *mem.AddressSpace, cfg Config) (*Allocator, error) {
 		space:     space,
 		extents:   []extent{{seg: seg, startBlock: 0}},
 		typedFree: map[typedKey]mem.Addr{},
+		hullLo:    seg.Base(),
+		hullHi:    seg.ReservedLimit(),
 	}
 	n := c.InitialBytes / mem.PageBytes
 	a.blocks = make([]blockDesc, n)
@@ -318,16 +334,26 @@ func (a *Allocator) Base() mem.Addr { return a.extents[0].seg.Base() }
 // extent.
 func (a *Allocator) Limit() mem.Addr { return a.extents[len(a.extents)-1].seg.Limit() }
 
+// Hull returns the reserved-range hull of the heap: every address in
+// any extent's reserved region lies in [lo, hi). A value outside the
+// hull can be neither a valid object address nor "in the vicinity of
+// the heap", so the marker rejects it with two compares.
+func (a *Allocator) Hull() (lo, hi mem.Addr) { return a.hullLo, a.hullHi }
+
 // InVicinity reports whether p falls in any extent's reserved region —
 // the paper's test for values that "could conceivably become valid
 // object addresses as a result of later allocation".
 func (a *Allocator) InVicinity(p mem.Addr) bool {
-	for i := range a.extents {
-		if a.extents[i].seg.InReserved(p) {
-			return true
-		}
+	if p < a.hullLo || p >= a.hullHi {
+		return false
 	}
-	return false
+	if len(a.extents) == 1 {
+		return true
+	}
+	// Binary search over the extents (sorted by base); p may fall into
+	// the unreserved gap between two extents.
+	i := sort.Search(len(a.extents), func(i int) bool { return a.extents[i].seg.Base() > p }) - 1
+	return i >= 0 && a.extents[i].seg.InReserved(p)
 }
 
 // InCommitted reports whether p falls in the committed heap.
@@ -336,12 +362,23 @@ func (a *Allocator) InCommitted(p mem.Addr) bool {
 }
 
 // extentOfAddr returns the extent whose committed region holds p, or
-// nil. The common single-extent case is one bounds check.
+// nil. The common single-extent case is one bounds check; the
+// multi-extent case first consults the last-hit cache and then binary
+// searches the (base-sorted) extents.
 func (a *Allocator) extentOfAddr(p mem.Addr) *extent {
-	for i := range a.extents {
-		if a.extents[i].seg.Contains(p) {
-			return &a.extents[i]
+	if len(a.extents) == 1 {
+		if a.extents[0].seg.Contains(p) {
+			return &a.extents[0]
 		}
+		return nil
+	}
+	if i := int(a.lastExtent.Load()); i < len(a.extents) && a.extents[i].seg.Contains(p) {
+		return &a.extents[i]
+	}
+	i := sort.Search(len(a.extents), func(i int) bool { return a.extents[i].seg.Base() > p }) - 1
+	if i >= 0 && a.extents[i].seg.Contains(p) {
+		a.lastExtent.Store(int32(i))
+		return &a.extents[i]
 	}
 	return nil
 }
@@ -784,6 +821,7 @@ func (a *Allocator) addExtent() error {
 		return fmt.Errorf("alloc: mapping extent %s: %w", name, err)
 	}
 	a.extents = append(a.extents, extent{seg: seg, startBlock: len(a.blocks)})
+	a.hullHi = seg.ReservedLimit()
 	return nil
 }
 
@@ -857,15 +895,15 @@ func (a *Allocator) FindObject(p mem.Addr, interior bool) (mem.Addr, bool) {
 		return 0, false
 	case blockSmall:
 		words := int(b.objWords)
-		off := int(p - a.blockBase(bi))
-		slot := off / (words * mem.WordBytes)
+		bb := a.blockBase(bi)
+		slot := int(p-bb) / (words * mem.WordBytes)
 		if slot >= slotsPerBlock(words) {
 			return 0, false // block-tail waste
 		}
 		if !bitGet(b.allocBits, slot) {
 			return 0, false
 		}
-		base := a.blockBase(bi) + mem.Addr(slot*words*mem.WordBytes)
+		base := bb + mem.Addr(slot*words*mem.WordBytes)
 		if p != base && !interior {
 			return 0, false
 		}
@@ -904,6 +942,40 @@ func (a *Allocator) Mark(base mem.Addr) bool {
 		return true
 	}
 	panic(fmt.Sprintf("alloc: Mark(%#x) on non-object block", uint32(base)))
+}
+
+// atomicSetBit sets bit i of bits with a CAS loop, returning true if
+// this call changed it from 0 to 1 (exactly one of any set of
+// concurrent callers wins).
+func atomicSetBit(bits []uint64, i int) bool {
+	w := &bits[i>>6]
+	m := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&m != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|m) {
+			return true
+		}
+	}
+}
+
+// MarkAtomic is Mark with the bit set by compare-and-swap, safe for
+// concurrent use by parallel mark workers: for any object exactly one
+// concurrent caller observes true. The serial Mark path is kept
+// non-atomic so MarkWorkers=1 pays nothing for the capability.
+func (a *Allocator) MarkAtomic(base mem.Addr) bool {
+	bi := a.blockIndex(base)
+	b := &a.blocks[bi]
+	switch b.state {
+	case blockLargeHead:
+		return atomicSetBit(b.markBits, 0)
+	case blockSmall:
+		slot := int(base-a.blockBase(bi)) / (int(b.objWords) * mem.WordBytes)
+		return atomicSetBit(b.markBits, slot)
+	}
+	panic(fmt.Sprintf("alloc: MarkAtomic(%#x) on non-object block", uint32(base)))
 }
 
 // Marked reports whether the object at base is marked.

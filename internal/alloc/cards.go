@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/mem"
 )
@@ -80,6 +81,36 @@ func (a *Allocator) ForEachMarkedObject(bi int, fn func(base mem.Addr)) {
 		base := a.blockBase(bi)
 		for slot := 0; slot < slotsPerBlock(words); slot++ {
 			if bitGet(b.allocBits, slot) && bitGet(b.markBits, slot) {
+				fn(base + mem.Addr(slot*words*mem.WordBytes))
+			}
+		}
+	}
+}
+
+// ForEachMarkedObjectAtomic is ForEachMarkedObject with the mark bits
+// read atomically, for use while parallel mark workers may be CASing
+// them concurrently. A rescan task racing a concurrent first-mark of
+// the same object may or may not see it — exactly as a serial minor
+// collection may process the dirty block before or after the root scan
+// marks the object — so either outcome is sound.
+func (a *Allocator) ForEachMarkedObjectAtomic(bi int, fn func(base mem.Addr)) {
+	b := &a.blocks[bi]
+	switch b.state {
+	case blockLargeHead:
+		if atomic.LoadUint64(&b.markBits[0])&1 != 0 {
+			fn(a.blockBase(bi))
+		}
+	case blockLargeCont:
+		head := bi - int(b.spanLen)
+		if atomic.LoadUint64(&a.blocks[head].markBits[0])&1 != 0 {
+			fn(a.blockBase(head))
+		}
+	case blockSmall:
+		words := int(b.objWords)
+		base := a.blockBase(bi)
+		for slot := 0; slot < slotsPerBlock(words); slot++ {
+			mv := atomic.LoadUint64(&b.markBits[slot>>6])
+			if bitGet(b.allocBits, slot) && mv&(1<<(uint(slot)&63)) != 0 {
 				fn(base + mem.Addr(slot*words*mem.WordBytes))
 			}
 		}

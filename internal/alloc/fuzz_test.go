@@ -1,6 +1,8 @@
 package alloc
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/mem"
@@ -102,6 +104,83 @@ func FuzzAllocatorOps(f *testing.F) {
 			if st.BlocksDedicated+st.BlocksFree != a.NumBlocks() {
 				t.Fatalf("block accounting: %d + %d != %d",
 					st.BlocksDedicated, st.BlocksFree, a.NumBlocks())
+			}
+		}
+	})
+}
+
+// FuzzConcurrentMark interprets the fuzz input as an allocation recipe,
+// then races several goroutines MarkAtomic-ing every object (run under
+// `go test -race` to exercise the CAS): exactly one goroutine must win
+// each mark bit, and afterwards every object must be Marked.
+func FuzzConcurrentMark(f *testing.F) {
+	f.Add([]byte{4, 1, 200, 30, 7})
+	f.Add([]byte{255, 255, 0, 3, 3, 3, 64})
+	f.Add([]byte{1})
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		space := mem.NewAddressSpace()
+		a, err := New(space, Config{
+			HeapBase:     0x400000,
+			InitialBytes: 256 * 1024,
+			ReserveBytes: 512 * 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var objs []mem.Addr
+		for i := 0; i < len(tape) && i < 256; i++ {
+			words := 1 + int(tape[i])%(MaxSmallWords+64) // small and large
+			p, err := a.Alloc(words, tape[i]%5 == 0)
+			if err == ErrNeedMemory {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs = append(objs, p)
+		}
+		if len(objs) == 0 {
+			t.Skip("no allocations")
+		}
+		const goroutines = 4
+		wins := make([]atomic.Int32, len(objs))
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// Each goroutine walks the objects from a different start
+				// so the CAS collisions land mid-stream.
+				for i := range objs {
+					j := (i + g*len(objs)/goroutines) % len(objs)
+					if a.MarkAtomic(objs[j]) {
+						wins[j].Add(1)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for i, p := range objs {
+			if n := wins[i].Load(); n != 1 {
+				t.Fatalf("object %d (%#x): %d goroutines won the mark CAS", i, uint32(p), n)
+			}
+			if !a.Marked(p) {
+				t.Fatalf("object %d (%#x) not marked", i, uint32(p))
+			}
+		}
+		// The marked set survives a sticky sweep and dies on the next.
+		a.SweepSticky()
+		for i, p := range objs {
+			if !a.IsAllocated(p) {
+				t.Fatalf("marked object %d swept", i)
+			}
+		}
+		a.ClearMarks()
+		a.Sweep()
+		for i, p := range objs {
+			if a.IsAllocated(p) {
+				t.Fatalf("unmarked object %d survived", i)
 			}
 		}
 	})

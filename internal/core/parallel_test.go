@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blacklist"
+	"repro/internal/machine"
+	"repro/internal/mark"
+	"repro/internal/mem"
+)
+
+// buildParallelWorld constructs a world with the given worker count and
+// a deterministic mixed workload: rooted chains, dead garbage, a wide
+// fan-out, atomic objects, register roots, and near-heap junk in the
+// static segment. Returns the world and every allocated address.
+func buildParallelWorld(t *testing.T, cfg Config) (*World, []mem.Addr) {
+	t.Helper()
+	cfg.GCDivisor = -1
+	if cfg.Blacklisting == 0 {
+		cfg.Blacklisting = BlacklistDense
+	}
+	if cfg.InitialHeapBytes == 0 {
+		cfg.InitialHeapBytes = 4 << 20
+	}
+	w := newWorld(t, cfg)
+	m := withMachine(t, w, machine.Config{})
+	data := addData(t, w, "data", 0x2000, 64*1024)
+	var objs []mem.Addr
+	allocObj := func(words int, atomic bool) mem.Addr {
+		p, err := w.Allocate(words, atomic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, p)
+		return p
+	}
+	slot := 0
+	root := func(v mem.Word) {
+		data.Store(0x2000+mem.Addr(slot*mem.WordBytes), v)
+		slot++
+	}
+	for c := 0; c < 16; c++ {
+		var head mem.Addr
+		for i := 0; i < 80; i++ {
+			n := allocObj(4, false)
+			w.Store(n, mem.Word(head))
+			head = n
+			if i%3 == 0 {
+				allocObj(3, false) // dead
+			}
+		}
+		root(mem.Word(head))
+	}
+	fan := allocObj(2000, false)
+	for i := 0; i < 2000; i++ {
+		leaf := allocObj(2, false)
+		w.Store(fan+mem.Addr(i*mem.WordBytes), mem.Word(leaf))
+	}
+	root(mem.Word(fan))
+	for i := 0; i < 4; i++ {
+		root(mem.Word(allocObj(16, true))) // atomic
+	}
+	// Register roots: a live object and a near-heap junk value.
+	m.SetGlobal(1, mem.Word(allocObj(8, false)))
+	m.SetGlobal(2, mem.Word(w.Heap.Limit()+0x40))
+	// Static near-heap junk: blacklisted by the collection.
+	root(mem.Word(w.Heap.Limit() - 2))
+	root(mem.Word(w.Heap.Limit() + 0x200))
+	return w, objs
+}
+
+// denseGranules extracts the blacklisted granules, which must match
+// across worker counts.
+func denseGranules(t *testing.T, w *World) []mem.Addr {
+	t.Helper()
+	d, ok := w.Blacklist.(*blacklist.Dense)
+	if !ok {
+		t.Fatalf("blacklist is %T, want *Dense", w.Blacklist)
+	}
+	return d.Granules()
+}
+
+func survivors(w *World, objs []mem.Addr) []bool {
+	out := make([]bool, len(objs))
+	for i, p := range objs {
+		out[i] = w.Heap.IsAllocated(p)
+	}
+	return out
+}
+
+func TestParallelCollectMatchesSerial(t *testing.T) {
+	type outcome struct {
+		mark  mark.Stats
+		live  uint64
+		freed uint64
+		surv  []bool
+		bl    []mem.Addr
+	}
+	run := func(workers int) outcome {
+		w, objs := buildParallelWorld(t, Config{MarkWorkers: workers})
+		st := w.Collect()
+		return outcome{
+			mark:  st.Mark,
+			live:  st.Sweep.ObjectsLive,
+			freed: st.Sweep.ObjectsFreed,
+			surv:  survivors(w, objs),
+			bl:    denseGranules(t, w),
+		}
+	}
+	want := run(1)
+	if want.mark.ObjectsMarked == 0 || want.freed == 0 || len(want.bl) == 0 {
+		t.Fatalf("workload not exercising enough: %+v", want.mark)
+	}
+	for _, n := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			got := run(n)
+			if got.mark != want.mark {
+				t.Errorf("mark stats diverge:\nserial   %+v\nparallel %+v", want.mark, got.mark)
+			}
+			if got.live != want.live || got.freed != want.freed {
+				t.Errorf("sweep diverges: live %d/%d freed %d/%d",
+					got.live, want.live, got.freed, want.freed)
+			}
+			for i := range want.surv {
+				if got.surv[i] != want.surv[i] {
+					t.Fatalf("object %d survival = %v, serial %v", i, got.surv[i], want.surv[i])
+				}
+			}
+			if len(got.bl) != len(want.bl) {
+				t.Fatalf("blacklist granules %d, serial %d", len(got.bl), len(want.bl))
+			}
+			for i := range want.bl {
+				if got.bl[i] != want.bl[i] {
+					t.Fatalf("blacklist granule %d diverges", i)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelMinorCollectMatchesSerial(t *testing.T) {
+	// Generational: full cycle establishes the old generation, mutation
+	// through the write barrier creates old-to-young edges, then a minor
+	// cycle runs with dirty-block rescans sharded across workers. The
+	// marked set, promotion count and byte totals must match serial;
+	// scan-effort counters (FieldsScanned, Candidates) legitimately may
+	// not, since racing rescans can scan an object twice.
+	type outcome struct {
+		promoted uint64
+		bytes    uint64
+		surv     []bool
+		bl       []mem.Addr
+	}
+	run := func(workers int) outcome {
+		w, objs := buildParallelWorld(t, Config{
+			MarkWorkers:  workers,
+			Generational: true,
+			MinorDivisor: -1,
+		})
+		w.Collect()
+		// Young objects reachable only through old ones, via the barrier.
+		old := objs[0]
+		for i := 0; i < 64; i++ {
+			p, err := w.Allocate(4, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs = append(objs, p)
+			if err := w.Store(old+mem.Addr((i%4)*mem.WordBytes), mem.Word(p)); err != nil {
+				t.Fatal(err)
+			}
+			old = p
+		}
+		// Young garbage too.
+		for i := 0; i < 200; i++ {
+			p, err := w.Allocate(4, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs = append(objs, p)
+		}
+		st := w.CollectMinor()
+		if !st.Minor || st.DirtyBlocks == 0 {
+			t.Fatalf("minor cycle not exercised: %+v", st)
+		}
+		return outcome{
+			promoted: st.Promoted,
+			bytes:    st.Mark.BytesMarked,
+			surv:     survivors(w, objs),
+			bl:       denseGranules(t, w),
+		}
+	}
+	want := run(1)
+	if want.promoted == 0 {
+		t.Fatal("no promotions in the serial run")
+	}
+	for _, n := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			got := run(n)
+			if got.promoted != want.promoted || got.bytes != want.bytes {
+				t.Errorf("promoted %d/%d, bytes %d/%d",
+					got.promoted, want.promoted, got.bytes, want.bytes)
+			}
+			for i := range want.surv {
+				if got.surv[i] != want.surv[i] {
+					t.Fatalf("object %d survival = %v, serial %v", i, got.surv[i], want.surv[i])
+				}
+			}
+			if len(got.bl) != len(want.bl) {
+				t.Fatalf("blacklist granules %d, serial %d", len(got.bl), len(want.bl))
+			}
+		})
+	}
+}
+
+func TestParallelMarkOnlyMatchesSerial(t *testing.T) {
+	w1, _ := buildParallelWorld(t, Config{MarkWorkers: 1})
+	wantObjs, wantBytes := w1.MarkOnly()
+	for _, n := range []int{2, 4} {
+		wn, _ := buildParallelWorld(t, Config{MarkWorkers: n})
+		objs, bytes := wn.MarkOnly()
+		if objs != wantObjs || bytes != wantBytes {
+			t.Fatalf("workers=%d MarkOnly = %d, %d; serial %d, %d",
+				n, objs, bytes, wantObjs, wantBytes)
+		}
+	}
+}
+
+func TestMarkWorkersDefaultIsSerial(t *testing.T) {
+	w := newWorld(t, Config{})
+	if w.cfg.MarkWorkers != 1 {
+		t.Fatalf("default MarkWorkers = %d", w.cfg.MarkWorkers)
+	}
+	if w.par != nil {
+		t.Fatal("serial world built a parallel marker")
+	}
+}

@@ -138,6 +138,15 @@ type Config struct {
 	// MarkQuantum bounds the marking work per allocation during an
 	// active incremental cycle, in objects (default 64).
 	MarkQuantum int
+
+	// MarkWorkers sets the number of mark-phase workers (default 1 =
+	// serial marking, the original code path, unchanged). Values above 1
+	// shard the stop-the-world mark phase across that many goroutines
+	// with CAS-set mark bits and work stealing (see internal/mark,
+	// parallel.go); the marked object set, byte counts and blacklisted
+	// pages are identical to a serial cycle's. Incremental cycles always
+	// mark serially: their bounded steps run inside the mutator.
+	MarkWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +179,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MarkQuantum == 0 {
 		c.MarkQuantum = 64
+	}
+	if c.MarkWorkers == 0 {
+		c.MarkWorkers = 1
 	}
 	return c
 }
@@ -222,6 +234,7 @@ type World struct {
 
 	cfg             Config
 	mut             Mutator
+	par             *mark.Parallel // non-nil iff cfg.MarkWorkers > 1
 	collections     int
 	minorsSinceFull int
 	incActive       bool
@@ -289,14 +302,19 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &World{
+	mcfg := mark.Config{Policy: c.Pointer, Alignment: c.Alignment, Blacklist: bl}
+	w := &World{
 		Space:       space,
 		Heap:        heap,
-		Marker:      mark.New(heap, mark.Config{Policy: c.Pointer, Alignment: c.Alignment, Blacklist: bl}),
+		Marker:      mark.New(heap, mcfg),
 		Blacklist:   bl,
 		cfg:         c,
 		finalizable: map[mem.Addr]struct{}{},
-	}, nil
+	}
+	if c.MarkWorkers > 1 {
+		w.par = mark.NewParallel(heap, mcfg, c.MarkWorkers)
+	}
+	return w, nil
 }
 
 // Config returns the world's effective configuration.
@@ -448,6 +466,46 @@ func (w *World) markRoots() {
 	w.Marker.MarkRootSegments(w.Space)
 }
 
+// markPhase runs one stop-the-world mark phase — serial through
+// w.Marker, or sharded across w.par's workers when MarkWorkers > 1 —
+// and returns its statistics plus the dirty-block count (minor cycles
+// only). Parallel cycles mark exactly the serial object set: the CAS
+// on each mark bit admits one winner, so ObjectsMarked, BytesMarked
+// and the blacklisted pages match the serial run bit for bit.
+func (w *World) markPhase(minor bool) (mark.Stats, int) {
+	dirty := 0
+	if w.par == nil {
+		w.Marker.Reset()
+		if minor {
+			// Rescan old objects on dirty pages first: at this point
+			// every marked object is old, so the scan is exactly the
+			// remembered set.
+			w.Heap.DirtyBlocks(func(bi int) {
+				dirty++
+				w.Heap.ForEachMarkedObject(bi, w.Marker.ScanObject)
+			})
+		}
+		w.markRoots()
+		w.Marker.Drain()
+		return w.Marker.Stats(), dirty
+	}
+	if minor {
+		w.Heap.DirtyBlocks(func(bi int) {
+			dirty++
+			w.par.AddDirtyBlock(bi)
+		})
+	}
+	if w.mut != nil {
+		w.par.AddSparseRoots(w.mut.Registers())
+		stackWords, _ := w.mut.LiveStack()
+		w.par.AddRoots(stackWords)
+	}
+	for _, s := range w.Space.Roots() {
+		w.par.AddRoots(s.Words())
+	}
+	return w.par.Run(), dirty
+}
+
 // Collect runs a full stop-the-world collection: mark from registers,
 // live stack and root segments; drain; handle finalisable objects;
 // sweep; age the blacklist.
@@ -463,9 +521,7 @@ func (w *World) Collect() CollectionStats {
 		// starts from a clean slate.
 		w.Heap.ClearMarks()
 	}
-	w.Marker.Reset()
-	w.markRoots()
-	w.Marker.Drain()
+	mstats, _ := w.markPhase(false)
 	// Finalisation, as used by the paper's PCR experiment: "selected
 	// otherwise unreachable heap cells to be enqueued for further
 	// action". Unmarked registered objects are queued before the sweep
@@ -493,7 +549,7 @@ func (w *World) Collect() CollectionStats {
 	w.minorsSinceFull = 0
 	w.Heap.ClearDirty()
 	w.last = CollectionStats{
-		Mark:      w.Marker.Stats(),
+		Mark:      mstats,
 		Sweep:     sweep,
 		Blacklist: w.Blacklist.Stats(),
 		Duration:  time.Since(start),
@@ -515,16 +571,7 @@ func (w *World) CollectMinor() CollectionStats {
 	}
 	start := time.Now()
 	w.Blacklist.BeginCycle()
-	w.Marker.Reset()
-	// Rescan old objects on dirty pages first: at this point every
-	// marked object is old, so the scan is exactly the remembered set.
-	dirty := 0
-	w.Heap.DirtyBlocks(func(bi int) {
-		dirty++
-		w.Heap.ForEachMarkedObject(bi, w.Marker.ScanObject)
-	})
-	w.markRoots()
-	w.Marker.Drain()
+	mstats, dirty := w.markPhase(true)
 	for a := range w.finalizable {
 		if !w.Heap.Marked(a) {
 			w.reclaimed = append(w.reclaimed, a)
@@ -540,14 +587,14 @@ func (w *World) CollectMinor() CollectionStats {
 	w.collections++
 	w.minorsSinceFull++
 	w.last = CollectionStats{
-		Mark:        w.Marker.Stats(),
+		Mark:        mstats,
 		Sweep:       sweep,
 		Blacklist:   w.Blacklist.Stats(),
 		Duration:    time.Since(start),
 		HeapBytes:   w.Heap.Stats().HeapBytes,
 		Minor:       true,
 		DirtyBlocks: dirty,
-		Promoted:    w.Marker.Stats().ObjectsMarked,
+		Promoted:    mstats.ObjectsMarked,
 	}
 	w.fireHook()
 	return w.last
@@ -563,9 +610,7 @@ func (w *World) MarkOnly() (objects, bytes uint64) {
 		// mark bits; complete the cycle first.
 		w.FinishIncrementalCycle()
 	}
-	w.Marker.Reset()
-	w.markRoots()
-	w.Marker.Drain()
+	w.markPhase(false)
 	objects, bytes = w.Heap.CountMarked()
 	w.Heap.ClearMarks()
 	return objects, bytes

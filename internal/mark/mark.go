@@ -104,7 +104,18 @@ type Marker struct {
 	bl    blacklist.List
 	stack []mem.Addr
 	stats Stats
+	// atomicMark switches Mark to the CAS-based MarkAtomic, required
+	// when several markers share the heap (see parallel.go).
+	atomicMark bool
+	// overflow, when set, is invoked after a push that grows the stack
+	// to spillThreshold or beyond; parallel workers use it to shed work
+	// onto the shared queue. nil for the serial marker.
+	overflow func(*Marker)
 }
+
+// spillThreshold is the local mark-stack depth beyond which a parallel
+// worker sheds chunks to the shared overflow queue.
+const spillThreshold = 8192
 
 // New creates a marker for the given heap.
 func New(heap *alloc.Allocator, cfg Config) *Marker {
@@ -133,6 +144,13 @@ func (m *Marker) Stats() Stats { return m.stats }
 func (m *Marker) MarkValue(v mem.Word) {
 	m.stats.Candidates++
 	p := mem.Addr(v)
+	// Candidate fast path: a value outside the heap's reserved hull can
+	// be neither a valid object address nor "in the vicinity of the
+	// heap", so the overwhelmingly common non-pointer root word costs
+	// two compares instead of an object lookup plus a vicinity test.
+	if lo, hi := m.heap.Hull(); p < lo || p >= hi {
+		return
+	}
 	base, ok := m.heap.FindObject(p, m.cfg.Policy == PointerInterior)
 	if !ok {
 		// "if p is in the vicinity of the heap: add p to blacklist"
@@ -145,7 +163,11 @@ func (m *Marker) MarkValue(v mem.Word) {
 	if p != base {
 		m.stats.InteriorResolved++
 	}
-	if !m.heap.Mark(base) {
+	if m.atomicMark {
+		if !m.heap.MarkAtomic(base) {
+			return // already marked (possibly by another worker)
+		}
+	} else if !m.heap.Mark(base) {
 		return // already marked
 	}
 	words, atomic := m.heap.ObjectSpan(base)
@@ -156,14 +178,26 @@ func (m *Marker) MarkValue(v mem.Word) {
 		return
 	}
 	m.stack = append(m.stack, base)
+	if m.overflow != nil && len(m.stack) >= spillThreshold {
+		m.overflow(m)
+	}
 }
 
 // MarkWords scans a word slice as a root area under the configured
 // alignment policy. The words are interpreted as big-endian for the
 // unaligned regime.
-func (m *Marker) MarkWords(words []mem.Word) {
-	m.stats.WordsScanned += uint64(len(words))
-	for _, w := range words {
+func (m *Marker) MarkWords(words []mem.Word) { m.markWordsChunk(words, 0) }
+
+// markWordsChunk scans words[:len(words)-tail] as root candidates; the
+// trailing tail words are straddle context only — scanned by the
+// unaligned pass but not as aligned candidates. Parallel root chunking
+// uses tail=1 so that a candidate straddling two chunks is still seen
+// by exactly one worker, keeping chunked scans candidate-for-candidate
+// identical to a serial scan of the whole area.
+func (m *Marker) markWordsChunk(words []mem.Word, tail int) {
+	n := len(words) - tail
+	m.stats.WordsScanned += uint64(n)
+	for _, w := range words[:n] {
 		m.MarkValue(w)
 	}
 	if m.cfg.Alignment == AnyByteOffset {

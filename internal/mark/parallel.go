@@ -1,0 +1,326 @@
+// Parallel marking: the mark phase sharded across several workers.
+//
+// Boehm's figure-2 algorithm is embarrassingly parallel once the mark
+// bits are set with compare-and-swap: every candidate can be classified
+// independently, and the transitive closure is a monotone fixpoint, so
+// any interleaving of workers marks exactly the serial object set. The
+// shape here follows the standard parallel tracer design (as in the
+// real collector's parallel mark and Nofl-style block tracers):
+//
+//   - each worker owns a Marker shard with a private mark stack, so the
+//     hot push/pop path is uncontended;
+//   - a worker whose stack grows past spillThreshold sheds chunks of
+//     gray objects onto a shared, mutex-guarded overflow queue, from
+//     which idle workers steal;
+//   - root areas and dirty-page rescans are enqueued as chunk tasks, so
+//     initial work is balanced dynamically rather than statically;
+//   - termination is detected with an idle-worker count: when every
+//     worker is idle and the shared queue is empty, no gray objects can
+//     exist anywhere, so the fixpoint is reached;
+//   - per-worker statistics and blacklist additions are aggregated at
+//     the barrier. Near-heap misses buffer locally and flush to the
+//     shared (mutex-wrapped) blacklist either when the buffer fills or
+//     at the barrier; the blacklist is cycle-stamped and therefore
+//     order-independent, so the final pages equal the serial run's.
+//
+// Equivalence with serial marking (asserted by the differential tests):
+// ObjectsMarked, BytesMarked, AtomicSkipped and the marked object set
+// are bit-for-bit identical — the CAS admits exactly one winner per
+// object. Root-scan counters (WordsScanned, Candidates) are identical
+// too, because chunking preserves the candidate sequence (including
+// unaligned straddles, via one word of chunk overlap). Only dirty-page
+// rescans in minor cycles may scan an object that a racing worker
+// marked moments earlier — the same double scan a serial minor cycle
+// performs for large objects spanning several dirty pages — which can
+// shift FieldsScanned but never the marked set.
+package mark
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/blacklist"
+	"repro/internal/mem"
+)
+
+const (
+	// rootChunkWords is the root-area task granularity: small enough
+	// that a handful of root segments spread across all workers, large
+	// enough that queue traffic is negligible against scan cost.
+	rootChunkWords = 2048
+	// grayChunk is the number of gray objects a spilling worker sheds
+	// per queue task.
+	grayChunk = 512
+	// flushAt bounds a worker's local blacklist buffer; beyond it the
+	// buffer drains to the shared locked list mid-cycle.
+	flushAt = 1024
+)
+
+// taskKind discriminates queue entries.
+type taskKind uint8
+
+const (
+	taskRoots  taskKind = iota // scan words as a root chunk
+	taskSparse                 // registers: nonzero words only, no straddles
+	taskGray                   // already-marked objects awaiting scanning
+	taskDirty                  // minor cycle: rescan marked objects of one block
+)
+
+// task is one unit of stealable work.
+type task struct {
+	kind  taskKind
+	words []mem.Word
+	tail  int // taskRoots: trailing straddle-context words
+	addrs []mem.Addr
+	block int // taskDirty: block index
+}
+
+// taskQueue is the shared overflow/work queue. A mutex-guarded LIFO is
+// sufficient here: workers touch it only to refill an empty local stack
+// or shed a over-full one, both rare against the per-object work.
+type taskQueue struct {
+	mu    sync.Mutex
+	tasks []task
+	size  atomic.Int32 // mirrored length, readable without the lock
+}
+
+func (q *taskQueue) push(t task) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	q.size.Store(int32(len(q.tasks)))
+	q.mu.Unlock()
+}
+
+func (q *taskQueue) pop() (task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return task{}, false
+	}
+	t := q.tasks[len(q.tasks)-1]
+	q.tasks[len(q.tasks)-1] = task{}
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	q.size.Store(int32(len(q.tasks)))
+	return t, true
+}
+
+// addrBuffer is a worker-local blacklist that batches Add calls,
+// flushing to the shared locked list when full; Parallel.Run drains the
+// remainder at the barrier. Queries pass through (the marker never
+// issues them during a cycle).
+type addrBuffer struct {
+	addrs  []mem.Addr
+	shared *blacklist.Locked
+}
+
+var _ blacklist.List = (*addrBuffer)(nil)
+
+func (b *addrBuffer) Add(a mem.Addr) {
+	b.addrs = append(b.addrs, a)
+	if len(b.addrs) >= flushAt {
+		b.flush()
+	}
+}
+
+func (b *addrBuffer) flush() {
+	for _, a := range b.addrs {
+		b.shared.Add(a)
+	}
+	b.addrs = b.addrs[:0]
+}
+
+func (b *addrBuffer) Contains(a mem.Addr) bool           { return b.shared.Contains(a) }
+func (b *addrBuffer) ContainsRange(lo, hi mem.Addr) bool { return b.shared.ContainsRange(lo, hi) }
+func (b *addrBuffer) Len() int                           { return b.shared.Len() }
+func (b *addrBuffer) Clear()                             { b.addrs = b.addrs[:0]; b.shared.Clear() }
+func (b *addrBuffer) BeginCycle()                        { b.shared.BeginCycle() }
+func (b *addrBuffer) Expire(maxAge uint32) int           { return b.shared.Expire(maxAge) }
+func (b *addrBuffer) Stats() blacklist.Stats             { return b.shared.Stats() }
+
+// worker couples a Marker shard with its blacklist buffer.
+type worker struct {
+	m       *Marker
+	pending *addrBuffer
+}
+
+// Parallel is a reusable parallel mark phase over one heap. Build it
+// once, then per collection cycle: AddRoots / AddSparseRoots /
+// AddDirtyBlock, then Run.
+type Parallel struct {
+	heap    *alloc.Allocator
+	cfg     Config
+	shared  *blacklist.Locked
+	workers []*worker
+	queue   taskQueue
+	idle    atomic.Int32
+	staged  []task // tasks accumulated between cycles, moved to queue by Run
+}
+
+// NewParallel creates a parallel marker with the given worker count
+// (minimum 2; use a plain Marker for serial marking).
+func NewParallel(heap *alloc.Allocator, cfg Config, workers int) *Parallel {
+	if workers < 2 {
+		workers = 2
+	}
+	bl := cfg.Blacklist
+	if bl == nil {
+		bl = blacklist.Disabled{}
+	}
+	p := &Parallel{heap: heap, cfg: cfg, shared: blacklist.NewLocked(bl)}
+	for i := 0; i < workers; i++ {
+		buf := &addrBuffer{shared: p.shared}
+		wcfg := cfg
+		wcfg.Blacklist = buf
+		m := New(heap, wcfg)
+		m.atomicMark = true
+		m.overflow = p.spill
+		p.workers = append(p.workers, &worker{m: m, pending: buf})
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Parallel) Workers() int { return len(p.workers) }
+
+// AddRoots stages a root area for the next Run, chunked for dynamic
+// balancing. Under the unaligned regime each chunk carries one word of
+// straddle context so chunk boundaries hide no candidates.
+func (p *Parallel) AddRoots(words []mem.Word) {
+	overlap := 0
+	if p.cfg.Alignment == AnyByteOffset {
+		overlap = 1
+	}
+	for lo := 0; lo < len(words); lo += rootChunkWords {
+		hi := lo + rootChunkWords
+		tail := overlap
+		if hi >= len(words) {
+			hi = len(words)
+			tail = 0
+		}
+		p.staged = append(p.staged, task{kind: taskRoots, words: words[lo : hi+tail], tail: tail})
+	}
+}
+
+// AddSparseRoots stages a register file: nonzero words are marked as
+// individual candidates, with no word-count or straddle accounting,
+// mirroring the serial collector's register scan.
+func (p *Parallel) AddSparseRoots(words []mem.Word) {
+	if len(words) > 0 {
+		p.staged = append(p.staged, task{kind: taskSparse, words: words})
+	}
+}
+
+// AddDirtyBlock stages a minor-cycle rescan of the marked objects in
+// block bi.
+func (p *Parallel) AddDirtyBlock(bi int) {
+	p.staged = append(p.staged, task{kind: taskDirty, block: bi})
+}
+
+// spill sheds the older half of a worker's mark stack onto the shared
+// queue in grayChunk pieces, keeping the newest (hottest) entries
+// local.
+func (p *Parallel) spill(m *Marker) {
+	half := len(m.stack) / 2
+	for lo := 0; lo < half; lo += grayChunk {
+		hi := lo + grayChunk
+		if hi > half {
+			hi = half
+		}
+		chunk := make([]mem.Addr, hi-lo)
+		copy(chunk, m.stack[lo:hi])
+		p.queue.push(task{kind: taskGray, addrs: chunk})
+	}
+	n := copy(m.stack, m.stack[half:])
+	m.stack = m.stack[:n]
+}
+
+// Run executes the mark phase over the staged tasks and returns the
+// aggregated statistics. At return every reachable object is marked,
+// all blacklist buffers are flushed, and the Parallel is ready for the
+// next cycle.
+func (p *Parallel) Run() Stats {
+	p.queue.tasks = append(p.queue.tasks[:0], p.staged...)
+	p.queue.size.Store(int32(len(p.queue.tasks)))
+	p.staged = p.staged[:0]
+	p.idle.Store(0)
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		w.m.Reset()
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			p.runWorker(w)
+		}(w)
+	}
+	wg.Wait()
+	var agg Stats
+	for _, w := range p.workers {
+		w.pending.flush()
+		s := w.m.Stats()
+		agg.WordsScanned += s.WordsScanned
+		agg.Candidates += s.Candidates
+		agg.ObjectsMarked += s.ObjectsMarked
+		agg.BytesMarked += s.BytesMarked
+		agg.FieldsScanned += s.FieldsScanned
+		agg.FalseNearHeap += s.FalseNearHeap
+		agg.AtomicSkipped += s.AtomicSkipped
+		agg.InteriorResolved += s.InteriorResolved
+	}
+	return agg
+}
+
+// runWorker is one worker's loop: drain the local stack, then steal
+// from the shared queue, then negotiate termination.
+func (p *Parallel) runWorker(w *worker) {
+	for {
+		w.m.Drain()
+		t, ok := p.queue.pop()
+		if !ok {
+			if p.goIdle() {
+				return
+			}
+			continue
+		}
+		p.process(w, t)
+	}
+}
+
+// goIdle registers this worker as out of work and waits until either
+// the shared queue has work again (return false: retry) or every
+// worker is idle with an empty queue (return true: the fixpoint is
+// reached). Tasks are pushed only by non-idle workers, so "all idle and
+// queue empty" is stable once observed.
+func (p *Parallel) goIdle() (done bool) {
+	p.idle.Add(1)
+	for {
+		if p.queue.size.Load() > 0 {
+			p.idle.Add(-1)
+			return false
+		}
+		if p.idle.Load() == int32(len(p.workers)) {
+			return true
+		}
+		runtime.Gosched()
+	}
+}
+
+// process executes one stolen task; any gray objects it produces land
+// on the worker's local stack, drained by the caller.
+func (p *Parallel) process(w *worker, t task) {
+	switch t.kind {
+	case taskRoots:
+		w.m.markWordsChunk(t.words, t.tail)
+	case taskSparse:
+		for _, v := range t.words {
+			if v != 0 {
+				w.m.MarkValue(v)
+			}
+		}
+	case taskGray:
+		w.m.stack = append(w.m.stack, t.addrs...)
+	case taskDirty:
+		p.heap.ForEachMarkedObjectAtomic(t.block, w.m.ScanObject)
+	}
+}

@@ -1,0 +1,259 @@
+package mark
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/blacklist"
+	"repro/internal/mem"
+	"repro/internal/simrand"
+)
+
+// parallelFixture builds a heap with a deterministic object graph plus
+// a root word area, so serial and parallel marks can be compared. The
+// graph mixes: linked chains, a wide fan-out object big enough to
+// trigger stack spilling, atomic objects, dead objects, interior
+// references, and near-heap junk that must be blacklisted.
+type parallelFixture struct {
+	heap  *alloc.Allocator
+	bl    *blacklist.Dense
+	roots []mem.Word
+	objs  []mem.Addr // every allocated object, live or dead
+}
+
+func newParallelFixture(t *testing.T, interior bool) *parallelFixture {
+	t.Helper()
+	space := mem.NewAddressSpace()
+	reserve := 4096 * mem.PageBytes
+	bl, err := blacklist.NewDense(heapBase, heapBase+mem.Addr(reserve), mem.PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := alloc.New(space, alloc.Config{
+		HeapBase:         heapBase,
+		InitialBytes:     1024 * mem.PageBytes,
+		ReserveBytes:     reserve,
+		Blacklist:        bl,
+		InteriorPointers: interior,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &parallelFixture{heap: heap, bl: bl}
+	allocObj := func(words int, atomic bool) mem.Addr {
+		p, err := heap.Alloc(words, atomic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.objs = append(f.objs, p)
+		return p
+	}
+	store := func(a mem.Addr, v mem.Word) {
+		if err := heap.Seg().Store(a, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := simrand.New(0xD1FF)
+	// 32 chains of 100 nodes, interleaved with dead objects.
+	for c := 0; c < 32; c++ {
+		var head mem.Addr
+		for i := 0; i < 100; i++ {
+			n := allocObj(4, false)
+			store(n, mem.Word(head))
+			head = n
+			if rng.Uint32()%3 == 0 {
+				allocObj(2+int(rng.Uint32()%8), false) // dead
+			}
+		}
+		f.roots = append(f.roots, mem.Word(head))
+	}
+	// A wide fan-out: one large object pointing at 10000 leaves, so a
+	// single worker's stack exceeds spillThreshold and sheds work.
+	fan := allocObj(10000, false)
+	for i := 0; i < 10000; i++ {
+		leaf := allocObj(2, false)
+		store(fan+mem.Addr(i*mem.WordBytes), mem.Word(leaf))
+	}
+	f.roots = append(f.roots, mem.Word(fan))
+	// Atomic objects: marked, never scanned.
+	for i := 0; i < 8; i++ {
+		f.roots = append(f.roots, mem.Word(allocObj(16, true)))
+	}
+	// Interior references (resolve only under PointerInterior).
+	inner := allocObj(32, false)
+	f.roots = append(f.roots, mem.Word(inner+20))
+	// Near-heap junk: committed-but-free and reserved-but-uncommitted
+	// addresses, which blacklist their pages.
+	f.roots = append(f.roots, mem.Word(heap.Limit()-2), mem.Word(heap.Limit()+0x100))
+	// Plenty of non-pointer noise so roots span several chunks.
+	for len(f.roots) < 3*rootChunkWords+17 {
+		f.roots = append(f.roots, mem.Word(rng.Uint32()))
+	}
+	return f
+}
+
+// markedSet returns the marked subset of the fixture's objects.
+func (f *parallelFixture) markedSet() map[mem.Addr]bool {
+	set := map[mem.Addr]bool{}
+	for _, p := range f.objs {
+		if f.heap.Marked(p) {
+			set[p] = true
+		}
+	}
+	return set
+}
+
+// runSerial marks the fixture's roots with a plain Marker.
+func (f *parallelFixture) runSerial(cfg Config) Stats {
+	cfg.Blacklist = f.bl
+	m := New(f.heap, cfg)
+	m.MarkWords(f.roots)
+	m.Drain()
+	return m.Stats()
+}
+
+// runParallel marks the fixture's roots with n workers.
+func (f *parallelFixture) runParallel(cfg Config, n int) Stats {
+	cfg.Blacklist = f.bl
+	p := NewParallel(f.heap, cfg, n)
+	p.AddRoots(f.roots)
+	return p.Run()
+}
+
+func granules(d *blacklist.Dense) []mem.Addr { return d.Granules() }
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		interior bool
+		cfg      Config
+	}{
+		{"base-aligned", false, Config{Policy: PointerBase, Alignment: AlignedWords}},
+		{"interior-aligned", true, Config{Policy: PointerInterior, Alignment: AlignedWords}},
+		{"base-unaligned", false, Config{Policy: PointerBase, Alignment: AnyByteOffset}},
+		{"interior-unaligned", true, Config{Policy: PointerInterior, Alignment: AnyByteOffset}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := newParallelFixture(t, tc.interior)
+			want := ref.runSerial(tc.cfg)
+			wantSet := ref.markedSet()
+			wantBL := granules(ref.bl)
+			if want.ObjectsMarked == 0 || want.FalseNearHeap == 0 || want.AtomicSkipped == 0 {
+				t.Fatalf("fixture not exercising enough: %+v", want)
+			}
+			for _, n := range []int{2, 4, 8} {
+				t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+					f := newParallelFixture(t, tc.interior)
+					got := f.runParallel(tc.cfg, n)
+					if got != want {
+						t.Errorf("stats diverge:\nserial   %+v\nparallel %+v", want, got)
+					}
+					gotSet := f.markedSet()
+					if len(gotSet) != len(wantSet) {
+						t.Fatalf("marked %d objects, serial marked %d", len(gotSet), len(wantSet))
+					}
+					for i, p := range f.objs {
+						if gotSet[p] != wantSet[ref.objs[i]] {
+							t.Fatalf("object %d (%#x) marked=%v, serial %v",
+								i, uint32(p), gotSet[p], wantSet[ref.objs[i]])
+						}
+					}
+					gotBL := granules(f.bl)
+					if len(gotBL) != len(wantBL) {
+						t.Fatalf("blacklist granules %d, serial %d", len(gotBL), len(wantBL))
+					}
+					for i := range gotBL {
+						if gotBL[i] != wantBL[i] {
+							t.Fatalf("blacklist granule %d = %#x, serial %#x",
+								i, uint32(gotBL[i]), uint32(wantBL[i]))
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestParallelChunkStraddle(t *testing.T) {
+	// A candidate that straddles the boundary between two root chunks
+	// must still be extracted exactly once under AnyByteOffset: the
+	// first chunk carries one word of context, and the context word is
+	// excluded from the second chunk's aligned scan. Both the marked
+	// object and the Candidates count must match a serial scan.
+	space := mem.NewAddressSpace()
+	heap, err := alloc.New(space, alloc.Config{
+		HeapBase:     heapBase,
+		InitialBytes: 64 * mem.PageBytes,
+		ReserveBytes: 64 * mem.PageBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := heap.Alloc(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the pointer across words rootChunkWords-1 and rootChunkWords
+	// at byte offset 2: big-endian, candidate = hi<<16 | lo>>16.
+	roots := make([]mem.Word, rootChunkWords+8)
+	roots[rootChunkWords-1] = mem.Word(uint32(p) >> 16)
+	roots[rootChunkWords] = mem.Word(uint32(p) << 16)
+	cfg := Config{Policy: PointerBase, Alignment: AnyByteOffset}
+
+	serial := New(heap, cfg)
+	serial.MarkWords(roots)
+	serial.Drain()
+	want := serial.Stats()
+	if want.ObjectsMarked != 1 {
+		t.Fatalf("serial straddle missed: %+v", want)
+	}
+	heap.ClearMarks()
+
+	par := NewParallel(heap, cfg, 2)
+	par.AddRoots(roots)
+	got := par.Run()
+	if got != want {
+		t.Fatalf("stats diverge:\nserial   %+v\nparallel %+v", want, got)
+	}
+	if !heap.Marked(p) {
+		t.Fatal("straddling candidate lost at chunk boundary")
+	}
+}
+
+func TestParallelReusableAcrossCycles(t *testing.T) {
+	f := newParallelFixture(t, false)
+	cfg := Config{Policy: PointerBase, Alignment: AlignedWords, Blacklist: f.bl}
+	p := NewParallel(f.heap, cfg, 4)
+	p.AddRoots(f.roots)
+	first := p.Run()
+	f.heap.ClearMarks()
+	p.AddRoots(f.roots)
+	second := p.Run()
+	if first != second {
+		t.Fatalf("cycles diverge:\nfirst  %+v\nsecond %+v", first, second)
+	}
+}
+
+func TestParallelSparseRoots(t *testing.T) {
+	f := newParallelFixture(t, false)
+	cfg := Config{Policy: PointerBase, Alignment: AlignedWords}
+
+	serial := New(f.heap, Config{Policy: PointerBase, Alignment: AlignedWords, Blacklist: f.bl})
+	for _, v := range f.roots {
+		if v != 0 {
+			serial.MarkValue(v)
+		}
+	}
+	serial.Drain()
+	want := serial.Stats()
+	f.heap.ClearMarks()
+
+	cfg.Blacklist = f.bl
+	p := NewParallel(f.heap, cfg, 4)
+	p.AddSparseRoots(f.roots)
+	got := p.Run()
+	if got != want {
+		t.Fatalf("stats diverge:\nserial   %+v\nparallel %+v", want, got)
+	}
+}

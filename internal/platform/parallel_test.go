@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelMarkingMatchesSerialAcrossProfiles runs program T once
+// per table-1 profile with serial marking and again with 4 mark
+// workers, same seed, and requires identical results: retained lists,
+// collection count, final heap size, and final blacklist size. The
+// parallel mark phase marks exactly the serial object set (CAS admits
+// one winner per mark bit), so every downstream quantity the paper
+// reports must be unchanged.
+func TestParallelMarkingMatchesSerialAcrossProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full program-T runs")
+	}
+	profiles := []Profile{SPARCStatic(false), SPARCDynamic(false), SGI(false), OS2(false), PCR(0)}
+	type outcome struct {
+		retained, total, collections, heapBytes, blLen int
+	}
+	runOne := func(p Profile, workers int) (outcome, error) {
+		p.MarkWorkers = workers
+		env, err := p.Build(7, true)
+		if err != nil {
+			return outcome{}, err
+		}
+		res, err := env.RunProgramT()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{
+			retained:    res.RetainedLists,
+			total:       res.TotalLists,
+			collections: res.Collections,
+			heapBytes:   res.HeapBytes,
+			blLen:       env.World.Blacklist.Len(),
+		}, nil
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, p := range profiles {
+		wg.Add(1)
+		go func(p Profile) {
+			defer wg.Done()
+			serial, err := runOne(p, 1)
+			if err == nil {
+				var par outcome
+				par, err = runOne(p, 4)
+				if err == nil && par != serial {
+					mu.Lock()
+					t.Errorf("%s: parallel %+v, serial %+v", p.Name, par, serial)
+					mu.Unlock()
+					return
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				t.Error(p.Name, err)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+}

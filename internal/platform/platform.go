@@ -85,6 +85,12 @@ type Profile struct {
 	NLists       int
 	NodesPerList int
 	NodeWords    int
+
+	// MarkWorkers shards the mark phase across this many workers
+	// (0 or 1 = serial). The paper's measurements are serial; parallel
+	// runs mark the identical object set (see core.Config.MarkWorkers)
+	// and exist for wall-clock speedups, not for different numbers.
+	MarkWorkers int
 }
 
 // ListBytes returns the payload bytes of one program-T list.
@@ -139,6 +145,7 @@ func (p Profile) Build(seed uint64, blacklisting bool) (*Env, error) {
 		Pointer:          mark.PointerInterior, // program T forces interior pointers
 		Blacklisting:     mode,
 		GCDivisor:        p.GCDivisor,
+		MarkWorkers:      p.MarkWorkers,
 		AllocatorResidue: true,
 		// "In the PCedar environment, there are enough allocations of
 		// small objects known to be pointer-free that blacklisted pages

@@ -1,0 +1,122 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// MarkBenchOptions parameterises the parallel-mark scaling measurement.
+type MarkBenchOptions struct {
+	Workers []int // worker counts to measure; default {1, 2, 4, 8}
+	Lists   int   // rooted lists (default 64)
+	Nodes   int   // nodes per list (default 4000)
+	Iters   int   // mark phases per measurement (default 10)
+}
+
+// MarkBenchRow is one worker count's measurement.
+type MarkBenchRow struct {
+	Workers       int     `json:"workers"`
+	NsPerMark     float64 `json:"ns_per_mark"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	ObjectsMarked uint64  `json:"objects_marked"`
+	Speedup       float64 `json:"speedup_vs_serial"`
+}
+
+// MarkBenchResult is the full measurement with the environment it ran
+// in. GoMaxProcs and NumCPU matter for interpretation: on a single-CPU
+// machine the workers serialise and the multi-worker rows measure pure
+// coordination overhead, not speedup.
+type MarkBenchResult struct {
+	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"numcpu"`
+	Lists      int            `json:"lists"`
+	Nodes      int            `json:"nodes"`
+	Rows       []MarkBenchRow `json:"rows"`
+}
+
+// MarkBench measures mark-phase wall-clock time against the worker
+// count over a heap of rooted lists: the same marked object set every
+// time (the differential tests assert this), so any time difference is
+// the parallelisation itself.
+func MarkBench(opts MarkBenchOptions) (*MarkBenchResult, *stats.Table, error) {
+	if len(opts.Workers) == 0 {
+		opts.Workers = []int{1, 2, 4, 8}
+	}
+	if opts.Lists == 0 {
+		opts.Lists = 64
+	}
+	if opts.Nodes == 0 {
+		opts.Nodes = 4000
+	}
+	if opts.Iters == 0 {
+		opts.Iters = 10
+	}
+	res := &MarkBenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Lists:      opts.Lists,
+		Nodes:      opts.Nodes,
+	}
+	bytesPerMark := float64(opts.Lists * opts.Nodes * 8)
+	var serialNs float64
+	for _, workers := range opts.Workers {
+		w, err := NewWorld(Config{
+			InitialHeapBytes: 16 << 20, ReserveHeapBytes: 32 << 20,
+			GCDivisor: -1, MarkWorkers: workers,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := w.Space.MapNew("data", KindData, 0x2000, 4096, 4096)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < opts.Lists; i++ {
+			head, err := workload.MakeList(w, opts.Nodes)
+			if err != nil {
+				return nil, nil, err
+			}
+			data.Store(0x2000+Addr(i*8), Word(head))
+		}
+		w.MarkOnly() // warm up caches and the worker pool
+		var objs uint64
+		start := time.Now()
+		for i := 0; i < opts.Iters; i++ {
+			objs, _ = w.MarkOnly()
+		}
+		elapsed := time.Since(start)
+		if want := uint64(opts.Lists * opts.Nodes); objs != want {
+			return nil, nil, fmt.Errorf("markbench: marked %d objects, want %d", objs, want)
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(opts.Iters)
+		if workers == 1 {
+			serialNs = ns
+		}
+		speedup := 0.0
+		if serialNs > 0 {
+			speedup = serialNs / ns
+		}
+		res.Rows = append(res.Rows, MarkBenchRow{
+			Workers:       workers,
+			NsPerMark:     ns,
+			MBPerSec:      bytesPerMark / ns * 1e3, // ns → MB/s
+			ObjectsMarked: objs,
+			Speedup:       speedup,
+		})
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Parallel mark scaling (%d lists x %d nodes, GOMAXPROCS=%d, NumCPU=%d)",
+			opts.Lists, opts.Nodes, res.GoMaxProcs, res.NumCPU),
+		"workers", "ms/mark", "MB/s", "speedup")
+	for _, r := range res.Rows {
+		tab.AddF(r.Workers,
+			fmt.Sprintf("%.2f", r.NsPerMark/1e6),
+			fmt.Sprintf("%.1f", r.MBPerSec),
+			fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	return res, tab, nil
+}
