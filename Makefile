@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench markbench
+.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench
 
-ci: vet build test race
+ci: fmt vet build test race
+
+# gofmt is a gate, not a fixer: fail listing the offending files.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +29,19 @@ race:
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
 
+# One-iteration pass over every benchmark in the repo: catches bit-rot
+# in benchmark code without waiting for real measurements.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
 # Regenerates BENCH_1.json (parallel mark scaling, machine-readable).
+# Worker counts above GOMAXPROCS are measured but flagged
+# "oversubscribed" and report no speedup: they exist to show the
+# coordination overhead, not to claim scaling a 1-CPU box cannot show.
 markbench:
-	$(GO) run ./cmd/gcbench -experiment markbench -benchjson BENCH_1.json
+	$(GO) run ./cmd/gcbench -experiment markbench -workers 1,2,4,8 -benchjson BENCH_1.json
+
+# Regenerates BENCH_2.json (collection pauses, eager vs lazy sweeping,
+# plus the parallel-mark measurement in the same artifact).
+sweepbench:
+	$(GO) run ./cmd/gcbench -experiment sweepbench -benchjson BENCH_2.json

@@ -27,6 +27,7 @@
 //	pauses      E16: stop-the-world vs incremental vs generational pauses
 //	obs5        E17: residual references die under continued execution
 //	markbench   parallel mark-phase scaling by worker count
+//	sweepbench  collection pauses, eager vs lazy sweeping (plus markbench)
 package main
 
 import (
@@ -34,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -41,12 +44,13 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|all)")
+	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|all)")
 	seeds      = flag.Int("seeds", 3, "seeds per table-1 and pcrsweep cell")
 	parallel   = flag.Int("parallel", 8, "concurrent runs for table-1 style sweeps")
 	seed       = flag.Uint64("seed", 1, "base seed for single-run experiments")
 	format     = flag.String("format", "text", "table output format: text|markdown")
-	benchJSON  = flag.String("benchjson", "", "write markbench results as JSON to this file")
+	benchJSON  = flag.String("benchjson", "", "write markbench/sweepbench results as JSON to this file")
+	workers    = flag.String("workers", "", "comma-separated markbench worker counts (default: powers of two up to GOMAXPROCS)")
 )
 
 // printTable renders a result table in the selected format.
@@ -78,11 +82,13 @@ func main() {
 		"frag":       runFrag,
 		"dualrun":    runDualRun,
 		"markbench":  runMarkBench,
+		"sweepbench": runSweepBench,
 	}
 	order := []string{
 		"table1", "figure1", "stackclear", "grids", "structures",
 		"overhead", "largeobj", "pcrsweep", "frag", "dualrun", "genceiling",
 		"placement", "atomic", "typed", "pauses", "obs5", "markbench",
+		"sweepbench",
 	}
 	var todo []string
 	if *experiment == "all" {
@@ -282,15 +288,65 @@ func runPauses() error {
 	return nil
 }
 
+// parseWorkers turns the -workers flag into a worker-count list.
+func parseWorkers() ([]int, error) {
+	if *workers == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("gcbench: bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func runMarkBench() error {
-	res, tab, err := repro.MarkBench(repro.MarkBenchOptions{})
+	counts, err := parseWorkers()
+	if err != nil {
+		return err
+	}
+	res, tab, err := repro.MarkBench(repro.MarkBenchOptions{Workers: counts})
 	if err != nil {
 		return err
 	}
 	printTable(tab)
 	fmt.Println("Parallel marking is not in the paper; it shards the figure-2 mark phase")
 	fmt.Println("with CAS mark bits and work stealing, marking the identical object set.")
-	fmt.Println("Speedups require real cores: on GOMAXPROCS=1 the rows measure overhead.")
+	fmt.Println("Speedups require real cores: worker counts above GOMAXPROCS serialise,")
+	fmt.Println("so those rows are flagged oversubscribed and measure overhead only.")
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	return nil
+}
+
+func runSweepBench() error {
+	res, tab, err := repro.SweepBench(repro.SweepBenchOptions{})
+	if err != nil {
+		return err
+	}
+	printTable(tab)
+	fmt.Println("Lazy sweeping replaces the pause's per-slot heap walk with an O(blocks)")
+	fmt.Println("mark-summary scan; the per-slot work is paid during allocation instead.")
+	fmt.Println("Reclamation totals are identical by construction (checked above). Unlike")
+	fmt.Println("mark speedups, this needs no extra cores, so GOMAXPROCS=1 is honest here.")
+	mark, mtab, err := repro.MarkBench(repro.MarkBenchOptions{})
+	if err != nil {
+		return err
+	}
+	res.Mark = mark
+	printTable(mtab)
 	if *benchJSON != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

@@ -160,6 +160,14 @@ type Config struct {
 	// ExtentReserveBytes is each additional extent's reservation
 	// (default: ReserveBytes).
 	ExtentReserveBytes int
+	// LazySweep defers per-slot sweep work out of the collection barrier.
+	// Sweep/SweepSticky then only classify blocks from their mark
+	// summaries — releasing empty blocks, skipping fully-live ones, and
+	// queueing mixed blocks — and refill sweeps queued blocks on demand;
+	// FinishSweep completes any remainder. Reclamation totals (the
+	// SweepResult) are identical to the eager sweep's, computed from the
+	// summaries at the barrier. Default off: the eager path, unchanged.
+	LazySweep bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -206,6 +214,20 @@ type blockDesc struct {
 	objWords  int32  // small: words per object; large head: object words
 	spanLen   int32  // large head: blocks in span; cont: offset to head
 	liveSlots int32  // small: allocated slot count
+	// markedCount is the block's mark summary: how many of its objects
+	// are marked (small: marked slots; large head: 0 or 1). Maintained
+	// at every mark-bit transition — plainly by Mark, with an atomic add
+	// by MarkAtomic — so after a mark phase the sweeper classifies the
+	// block as empty / mixed / fully live in O(1) without reading the
+	// bitmap. The byte half of the summary is derived, not stored:
+	// blocks hold a single size class, so marked bytes are always
+	// markedCount × objWords × WordBytes (see markedBytes).
+	markedCount int32
+	// pendingSweep marks a block whose sweep was deferred past the
+	// collection barrier (Config.LazySweep): its alloc/mark bits still
+	// describe the last cycle's liveness, and its free slots are on no
+	// free list until sweepBlock runs.
+	pendingSweep bool
 	// ignoreOffPage marks a large object whose client promises to keep
 	// a pointer to its first page: interior pointers past that page are
 	// treated as invalid (GC_malloc_ignore_off_page in the original
@@ -238,6 +260,10 @@ type Stats struct {
 	// the real collector's "needed to allocate blacklisted block"
 	// warning.
 	DesperateAllocs uint64
+	// LazySweptBlocks counts blocks whose sweep was deferred past a
+	// collection barrier and completed later, by refill or FinishSweep
+	// (LazySweep only).
+	LazySweptBlocks uint64
 }
 
 // extent is one contiguous run of heap. The default heap is a single
@@ -268,6 +294,21 @@ type Allocator struct {
 	typedFree   map[typedKey]mem.Addr
 	descriptors []Descriptor
 	stats       Stats
+	// Lazy sweeping state (Config.LazySweep). sweepPending[idx] queues
+	// the sweep-pending mixed blocks whose free slots belong on
+	// freeList[idx]; sweepPendingTyped does the same for typed lists.
+	// Queues are filled in ascending block order by the classification
+	// barrier and drained from the back, so lazy refills consume blocks
+	// in exactly the order the eager sweep would have handed their slots
+	// out (descending block index) — allocation addresses are identical
+	// between the two modes. pendingBlocks counts blocks still flagged
+	// pendingSweep (queue entries for already-swept blocks are skipped
+	// on pop). lazyClearMarks records whether deferred sweeps clear mark
+	// bits (full cycle) or preserve them (sticky minor cycle).
+	sweepPending      [64][]int
+	sweepPendingTyped map[typedKey][]int
+	pendingBlocks     int
+	lazyClearMarks    bool
 	// hullLo/hullHi cache the reserved-range hull over all extents:
 	// every address any extent could ever commit lies in [hullLo,
 	// hullHi). The marker's candidate fast path rejects the common
@@ -302,12 +343,13 @@ func New(space *mem.AddressSpace, cfg Config) (*Allocator, error) {
 		return nil, err
 	}
 	a := &Allocator{
-		cfg:       c,
-		space:     space,
-		extents:   []extent{{seg: seg, startBlock: 0}},
-		typedFree: map[typedKey]mem.Addr{},
-		hullLo:    seg.Base(),
-		hullHi:    seg.ReservedLimit(),
+		cfg:               c,
+		space:             space,
+		extents:           []extent{{seg: seg, startBlock: 0}},
+		typedFree:         map[typedKey]mem.Addr{},
+		sweepPendingTyped: map[typedKey][]int{},
+		hullLo:            seg.Base(),
+		hullHi:            seg.ReservedLimit(),
 	}
 	n := c.InitialBytes / mem.PageBytes
 	a.blocks = make([]blockDesc, n)
@@ -545,9 +587,20 @@ func (a *Allocator) alloc(nwords int, atomic, desperate bool) (mem.Addr, error) 
 	return p, nil
 }
 
-// refill dedicates a fresh block to the given class and threads its
-// slots onto freeList[idx].
+// refill replenishes freeList[idx], first by sweeping pending blocks of
+// the class (lazy sweeping), then by dedicating a fresh block and
+// threading its slots.
 func (a *Allocator) refill(class int, atomic bool, idx int, desperate bool) error {
+	for a.freeList[idx] == 0 {
+		bi, ok := a.popPending(&a.sweepPending[idx])
+		if !ok {
+			break
+		}
+		a.sweepBlock(bi)
+	}
+	if a.freeList[idx] != 0 {
+		return nil
+	}
 	words := classWords[class]
 	anyPageOK := desperate || (atomic && a.cfg.AllowAtomicOnBlacklisted &&
 		words <= a.cfg.AtomicBlacklistMaxWords)
@@ -914,10 +967,19 @@ func (a *Allocator) FindObject(p mem.Addr, interior bool) (mem.Addr, bool) {
 
 // IsAllocated reports whether base is the base address of a currently
 // allocated object. Experiments use it to measure retention after a
-// collection.
+// collection. An object in a sweep-pending block whose mark bit is
+// clear was classified dead by the last collection — only its
+// reclamation is deferred — so it reports as not allocated, keeping
+// retention measurements identical between lazy and eager sweeping.
 func (a *Allocator) IsAllocated(base mem.Addr) bool {
 	b, ok := a.FindObject(base, false)
-	return ok && b == base
+	if !ok || b != base {
+		return false
+	}
+	if a.blocks[a.blockIndex(base)].pendingSweep && !a.Marked(base) {
+		return false
+	}
+	return true
 }
 
 // Mark sets the mark bit for the object with the given base address,
@@ -932,6 +994,7 @@ func (a *Allocator) Mark(base mem.Addr) bool {
 			return false
 		}
 		b.markBits[0] |= 1
+		b.markedCount++
 		return true
 	case blockSmall:
 		slot := int(base-a.blockBase(bi)) / (int(b.objWords) * mem.WordBytes)
@@ -939,6 +1002,7 @@ func (a *Allocator) Mark(base mem.Addr) bool {
 			return false
 		}
 		bitSet(b.markBits, slot)
+		b.markedCount++
 		return true
 	}
 	panic(fmt.Sprintf("alloc: Mark(%#x) on non-object block", uint32(base)))
@@ -970,10 +1034,21 @@ func (a *Allocator) MarkAtomic(base mem.Addr) bool {
 	b := &a.blocks[bi]
 	switch b.state {
 	case blockLargeHead:
-		return atomicSetBit(b.markBits, 0)
+		if atomicSetBit(b.markBits, 0) {
+			atomic.AddInt32(&b.markedCount, 1)
+			return true
+		}
+		return false
 	case blockSmall:
 		slot := int(base-a.blockBase(bi)) / (int(b.objWords) * mem.WordBytes)
-		return atomicSetBit(b.markBits, slot)
+		if atomicSetBit(b.markBits, slot) {
+			// The CAS admits exactly one marker per object, so the add
+			// runs once per mark transition and the summary equals the
+			// bitmap's population count at the barrier.
+			atomic.AddInt32(&b.markedCount, 1)
+			return true
+		}
+		return false
 	}
 	panic(fmt.Sprintf("alloc: MarkAtomic(%#x) on non-object block", uint32(base)))
 }

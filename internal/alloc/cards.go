@@ -61,7 +61,10 @@ func (a *Allocator) CountDirty() int {
 
 // ForEachMarkedObject calls fn with the base address of every marked
 // allocated object in block bi. The minor collection uses it to rescan
-// old objects on dirty blocks.
+// old objects on dirty blocks. The bitmaps are walked a word at a time:
+// the mark summary rejects fully-unmarked blocks outright, words with
+// no marked allocated slot are skipped whole, and set bits are resolved
+// with trailing-zero scans instead of per-slot bitGet.
 func (a *Allocator) ForEachMarkedObject(bi int, fn func(base mem.Addr)) {
 	b := &a.blocks[bi]
 	switch b.state {
@@ -77,11 +80,15 @@ func (a *Allocator) ForEachMarkedObject(bi int, fn func(base mem.Addr)) {
 			fn(a.blockBase(head))
 		}
 	case blockSmall:
-		words := int(b.objWords)
+		if b.markedCount == 0 {
+			return
+		}
+		objBytes := int(b.objWords) * mem.WordBytes
 		base := a.blockBase(bi)
-		for slot := 0; slot < slotsPerBlock(words); slot++ {
-			if bitGet(b.allocBits, slot) && bitGet(b.markBits, slot) {
-				fn(base + mem.Addr(slot*words*mem.WordBytes))
+		for wi, mv := range b.markBits {
+			for w := mv & b.allocBits[wi]; w != 0; w &= w - 1 {
+				slot := wi<<6 + bits.TrailingZeros64(w)
+				fn(base + mem.Addr(slot*objBytes))
 			}
 		}
 	}
@@ -106,12 +113,17 @@ func (a *Allocator) ForEachMarkedObjectAtomic(bi int, fn func(base mem.Addr)) {
 			fn(a.blockBase(head))
 		}
 	case blockSmall:
-		words := int(b.objWords)
+		// One atomic load per bitmap word instead of one per slot; a
+		// racing first-mark that lands after the word is read is missed,
+		// which the contract above already permits. Alloc bits are
+		// stable during a mark phase, so they are read plainly.
+		objBytes := int(b.objWords) * mem.WordBytes
 		base := a.blockBase(bi)
-		for slot := 0; slot < slotsPerBlock(words); slot++ {
-			mv := atomic.LoadUint64(&b.markBits[slot>>6])
-			if bitGet(b.allocBits, slot) && mv&(1<<(uint(slot)&63)) != 0 {
-				fn(base + mem.Addr(slot*words*mem.WordBytes))
+		for wi := range b.markBits {
+			mv := atomic.LoadUint64(&b.markBits[wi])
+			for w := mv & b.allocBits[wi]; w != 0; w &= w - 1 {
+				slot := wi<<6 + bits.TrailingZeros64(w)
+				fn(base + mem.Addr(slot*objBytes))
 			}
 		}
 	}
@@ -120,13 +132,22 @@ func (a *Allocator) ForEachMarkedObjectAtomic(bi int, fn func(base mem.Addr)) {
 // SweepSticky is Sweep with mark bits preserved: unmarked objects are
 // freed, marked objects stay marked ("old"). Together with MarkDirty
 // and a root re-scan it implements the sticky-mark-bit minor collection
-// of the generational-conservative design.
+// of the generational-conservative design. Under LazySweep the deferred
+// block sweeps preserve marks the same way, so a block holding any
+// old-marked object (markedCount > 0) is never released by a minor
+// collection, pending or not.
 func (a *Allocator) SweepSticky() SweepResult {
+	if a.cfg.LazySweep {
+		return a.sweepLazy(false)
+	}
 	return a.sweep(false)
 }
 
 // Sweep reclaims every unmarked object, rebuilds the free lists, and
 // clears mark bits for the next full cycle. See also SweepSticky.
 func (a *Allocator) Sweep() SweepResult {
+	if a.cfg.LazySweep {
+		return a.sweepLazy(true)
+	}
 	return a.sweep(true)
 }

@@ -2,6 +2,7 @@ package alloc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -16,17 +17,118 @@ type SweepResult struct {
 	BlocksKept     int // dedicated blocks retained
 }
 
-// sweep reclaims every unmarked object and rebuilds the size-class free
-// lists, as the paper's collector does after each mark phase. When
-// clearMarks is true (full collections) survivors' mark bits are
-// cleared for the next cycle; when false (SweepSticky, minor
-// collections) they are preserved as the "old" flag.
+// markedBytes returns the byte half of a block's mark summary. Blocks
+// hold a single size class, so it is derived from markedCount rather
+// than maintained as a second counter on the mark hot path.
+func (b *blockDesc) markedBytes() uint64 {
+	return uint64(b.markedCount) * uint64(int(b.objWords)*mem.WordBytes)
+}
+
+// sweepWordMask returns the bits of bitmap word wi (covering slots
+// [wi*64, wi*64+64)) that correspond to usable slots, i.e. slots in
+// [first, nslots).
+func sweepWordMask(wi, first, nslots int) uint64 {
+	lo := wi << 6
+	start := first - lo
+	if start < 0 {
+		start = 0
+	}
+	end := nslots - lo
+	if end > 64 {
+		end = 64
+	}
+	if end <= start {
+		return 0
+	}
+	return ^uint64(0) >> (64 - uint(end-start)) << uint(start)
+}
+
+// sweepSmall sweeps one small block in place: unmarked allocated slots
+// are freed (alloc bit cleared, body zeroed), every non-live slot is
+// threaded onto the block's free list in address order, and — when
+// clearMarks is set — mark bits and the mark summary are cleared. The
+// bitmaps are consumed a word at a time: zero words of interest are
+// skipped whole, live words are resolved with trailing/leading-zero
+// scans instead of per-slot bitGet. Threading walks slots in descending
+// address order (highest word first, highest bit within each word
+// first), producing exactly the list the seed's per-slot loop built.
+//
+// It performs no accounting: callers compute the SweepResult from the
+// block's summary before the bits change (eagerly at the barrier in
+// both sweep modes).
+func (a *Allocator) sweepSmall(bi int, clearMarks bool) {
+	b := &a.blocks[bi]
+	words := int(b.objWords)
+	nslots := slotsPerBlock(words)
+	first := a.firstSlot(words)
+	base := a.blockBase(bi)
+	hw := a.blockWords(bi)
+	typed := b.desc >= 0
+	idx := int(b.class)
+	if b.atomic {
+		idx += NumClasses
+	}
+	tkey := typedKey{class: int(b.class), desc: b.desc}
+	var head mem.Addr
+	if typed {
+		head = a.typedFree[tkey]
+	} else {
+		head = a.freeList[idx]
+	}
+	for wi := len(b.allocBits) - 1; wi >= 0; wi-- {
+		valid := sweepWordMask(wi, first, nslots)
+		if valid == 0 {
+			continue
+		}
+		slot0 := wi << 6
+		am := b.allocBits[wi] & valid
+		mm := b.markBits[wi] & am
+		if dead := am &^ mm; dead != 0 {
+			b.allocBits[wi] &^= dead
+			for m := dead; m != 0; m &= m - 1 {
+				slot := slot0 + bits.TrailingZeros64(m)
+				// Zero the freed body so the next owner gets clean
+				// memory; the first word is overwritten by the link.
+				for w := 1; w < words; w++ {
+					hw[slot*words+w] = 0
+				}
+			}
+		}
+		if clearMarks {
+			b.markBits[wi] = 0
+		}
+		for m := valid &^ mm; m != 0; {
+			top := 63 - bits.LeadingZeros64(m)
+			m &^= 1 << uint(top)
+			slot := slot0 + top
+			hw[slot*words] = mem.Word(head)
+			head = base + mem.Addr(slot*words*mem.WordBytes)
+		}
+	}
+	if typed {
+		a.typedFree[tkey] = head
+	} else {
+		a.freeList[idx] = head
+	}
+	b.liveSlots = b.markedCount
+	if clearMarks {
+		b.markedCount = 0
+	}
+}
+
+// sweep is the eager sweep: it reclaims every unmarked object and
+// rebuilds the size-class free lists inside the collection barrier, as
+// the paper's collector does after each mark phase. When clearMarks is
+// true (full collections) survivors' mark bits are cleared for the next
+// cycle; when false (SweepSticky, minor collections) they are preserved
+// as the "old" flag.
 //
 // Wholly empty blocks are returned to the free block structure (address
 // ordered with coalescing by default), which both lets the blacklist
 // steer future placement and implements the paper's fragmentation
 // argument for sorted free lists.
 func (a *Allocator) sweep(clearMarks bool) SweepResult {
+	a.FinishSweep() // no-op unless a lazy cycle left blocks pending
 	var r SweepResult
 	// Free lists are rebuilt from scratch: the threaded slots live in
 	// blocks that may be released below.
@@ -34,7 +136,7 @@ func (a *Allocator) sweep(clearMarks bool) SweepResult {
 		a.freeList[i] = 0
 	}
 	for k := range a.typedFree {
-		delete(a.typedFree, k)
+		a.typedFree[k] = 0
 	}
 	for bi := 0; bi < len(a.blocks); bi++ {
 		b := &a.blocks[bi]
@@ -46,6 +148,81 @@ func (a *Allocator) sweep(clearMarks bool) SweepResult {
 			if b.markBits[0]&1 != 0 {
 				if clearMarks {
 					b.markBits[0] = 0
+					b.markedCount = 0
+				}
+				r.ObjectsLive++
+				r.BytesLive += uint64(int(b.objWords) * mem.WordBytes)
+				r.BlocksKept += n
+			} else {
+				r.ObjectsFreed++
+				r.BytesFreed += uint64(int(b.objWords) * mem.WordBytes)
+				a.releaseSpan(bi, n)
+				r.BlocksReleased += n
+				a.stats.BlocksDedicated -= n
+				a.stats.BlocksFree += n
+			}
+			bi += n - 1
+		case blockSmall:
+			objBytes := uint64(int(b.objWords) * mem.WordBytes)
+			live := int(b.markedCount)
+			freed := int(b.liveSlots) - live
+			r.ObjectsFreed += uint64(freed)
+			r.BytesFreed += uint64(freed) * objBytes
+			if live == 0 {
+				a.releaseSpan(bi, 1)
+				r.BlocksReleased++
+				a.stats.BlocksDedicated--
+				a.stats.BlocksFree++
+				continue
+			}
+			a.sweepSmall(bi, clearMarks)
+			r.ObjectsLive += uint64(live)
+			r.BytesLive += uint64(live) * objBytes
+			r.BlocksKept++
+		}
+	}
+	a.stats.BytesLive = r.BytesLive
+	a.stats.ObjectsLive = r.ObjectsLive
+	return r
+}
+
+// sweepLazy is the lazy sweep's collection barrier. The per-block mark
+// summaries let it compute the exact SweepResult the eager sweep would
+// report while doing only O(blocks) work: empty blocks (markedCount 0)
+// are released to the free structure immediately, fully-live blocks
+// need no threading at all, and only mixed blocks are queued as
+// sweep-pending for refill to process on demand. The deferred work per
+// block is pure threading and bit maintenance; every reclamation total
+// is already accounted here.
+//
+// Soundness: a pending block's alloc and mark bits encode the cycle's
+// liveness verdict, so all pending blocks must be swept (FinishSweep)
+// before mark bits are touched again — the collector finishes the sweep
+// at the start of the next cycle, and ClearMarks refuses to run over
+// pending blocks by finishing them first.
+func (a *Allocator) sweepLazy(clearMarks bool) SweepResult {
+	a.FinishSweep() // complete the previous cycle's leftovers first
+	var r SweepResult
+	for i := range a.freeList {
+		a.freeList[i] = 0
+	}
+	for k := range a.typedFree {
+		a.typedFree[k] = 0
+	}
+	a.lazyClearMarks = clearMarks
+	for bi := 0; bi < len(a.blocks); bi++ {
+		b := &a.blocks[bi]
+		switch b.state {
+		case blockFree, blockLargeCont:
+			continue
+		case blockLargeHead:
+			// Large objects are classified entirely by the summary; they
+			// never go pending.
+			n := int(b.spanLen)
+			if b.markedCount != 0 {
+				if clearMarks {
+					b.markBits[0] = 0
+					b.markedCount = 0
 				}
 				r.ObjectsLive++
 				r.BytesLive += uint64(int(b.objWords) * mem.WordBytes)
@@ -61,70 +238,44 @@ func (a *Allocator) sweep(clearMarks bool) SweepResult {
 			bi += n - 1
 		case blockSmall:
 			words := int(b.objWords)
-			nslots := slotsPerBlock(words)
 			objBytes := uint64(words * mem.WordBytes)
-			live := 0
-			for slot := a.firstSlot(words); slot < nslots; slot++ {
-				if bitGet(b.allocBits, slot) && bitGet(b.markBits, slot) {
-					live++
-				}
-			}
+			live := int(b.markedCount)
+			freed := int(b.liveSlots) - live
+			r.ObjectsFreed += uint64(freed)
+			r.BytesFreed += uint64(freed) * objBytes
 			if live == 0 {
-				freed := int(b.liveSlots)
-				r.ObjectsFreed += uint64(freed)
-				r.BytesFreed += uint64(freed) * objBytes
 				a.releaseSpan(bi, 1)
 				r.BlocksReleased++
 				a.stats.BlocksDedicated--
 				a.stats.BlocksFree++
 				continue
 			}
-			// Rebuild this block's contribution to its free list,
-			// threading in address order, and clear mark bits. Typed
-			// blocks thread onto their (class, descriptor) list.
-			typed := b.desc >= 0
-			idx := int(b.class)
-			if b.atomic {
-				idx += NumClasses
-			}
-			tkey := typedKey{class: int(b.class), desc: b.desc}
-			base := a.blockBase(bi)
-			hw := a.blockWords(bi)
-			var head mem.Addr
-			if typed {
-				head = a.typedFree[tkey]
-			} else {
-				head = a.freeList[idx]
-			}
-			for slot := nslots - 1; slot >= a.firstSlot(words); slot-- {
-				if bitGet(b.allocBits, slot) {
-					if bitGet(b.markBits, slot) {
-						if clearMarks {
-							bitClear(b.markBits, slot)
-						}
-						continue
-					}
-					// Newly freed: zero the body so the next owner gets
-					// clean memory.
-					bitClear(b.allocBits, slot)
-					for w := 1; w < words; w++ {
-						hw[slot*words+w] = 0
-					}
-					r.ObjectsFreed++
-					r.BytesFreed += objBytes
-				}
-				hw[slot*words] = mem.Word(head)
-				head = base + mem.Addr(slot*words*mem.WordBytes)
-			}
-			if typed {
-				a.typedFree[tkey] = head
-			} else {
-				a.freeList[idx] = head
-			}
-			b.liveSlots = int32(live)
 			r.ObjectsLive += uint64(live)
 			r.BytesLive += uint64(live) * objBytes
 			r.BlocksKept++
+			if live == slotsPerBlock(words)-a.firstSlot(words) {
+				// Fully live: no slots to thread. A full cycle still
+				// clears its marks here — a handful of word stores.
+				if clearMarks {
+					for i := range b.markBits {
+						b.markBits[i] = 0
+					}
+					b.markedCount = 0
+				}
+				continue
+			}
+			b.pendingSweep = true
+			a.pendingBlocks++
+			if b.desc >= 0 {
+				k := typedKey{class: int(b.class), desc: b.desc}
+				a.sweepPendingTyped[k] = append(a.sweepPendingTyped[k], bi)
+			} else {
+				idx := int(b.class)
+				if b.atomic {
+					idx += NumClasses
+				}
+				a.sweepPending[idx] = append(a.sweepPending[idx], bi)
+			}
 		}
 	}
 	a.stats.BytesLive = r.BytesLive
@@ -132,26 +283,93 @@ func (a *Allocator) sweep(clearMarks bool) SweepResult {
 	return r
 }
 
-// ClearMarks clears every mark bit without sweeping. The collector uses
-// it for mark-only experiments (e.g. measuring apparently-live data
-// without disturbing the heap).
+// sweepBlock completes the deferred sweep of one pending block.
+func (a *Allocator) sweepBlock(bi int) {
+	b := &a.blocks[bi]
+	if !b.pendingSweep {
+		return
+	}
+	b.pendingSweep = false
+	a.pendingBlocks--
+	a.stats.LazySweptBlocks++
+	a.sweepSmall(bi, a.lazyClearMarks)
+}
+
+// popPending pops the highest-index still-pending block off a queue.
+// Entries whose block was already swept out of band (by Free) are
+// discarded.
+func (a *Allocator) popPending(q *[]int) (int, bool) {
+	for len(*q) > 0 {
+		bi := (*q)[len(*q)-1]
+		*q = (*q)[:len(*q)-1]
+		if a.blocks[bi].pendingSweep {
+			return bi, true
+		}
+	}
+	return 0, false
+}
+
+// FinishSweep completes all deferred sweep work immediately, returning
+// the number of blocks swept. With eager sweeping (or nothing pending)
+// it is a no-op. The collector calls it before every mark phase so that
+// no stale liveness bits survive into the next cycle; tests and
+// measurements call it to observe final reclamation state.
+func (a *Allocator) FinishSweep() int {
+	if a.pendingBlocks == 0 {
+		return 0
+	}
+	n := 0
+	for idx := range a.sweepPending {
+		for _, bi := range a.sweepPending[idx] {
+			if a.blocks[bi].pendingSweep {
+				a.sweepBlock(bi)
+				n++
+			}
+		}
+		a.sweepPending[idx] = a.sweepPending[idx][:0]
+	}
+	for k, q := range a.sweepPendingTyped {
+		for _, bi := range q {
+			if a.blocks[bi].pendingSweep {
+				a.sweepBlock(bi)
+				n++
+			}
+		}
+		a.sweepPendingTyped[k] = q[:0]
+	}
+	return n
+}
+
+// SweepPending returns the number of blocks whose sweep is deferred.
+func (a *Allocator) SweepPending() int { return a.pendingBlocks }
+
+// ClearMarks clears every mark bit (and mark summary) without sweeping.
+// The collector uses it for mark-only experiments and to reset sticky
+// bits before a full generational cycle. Pending lazy sweeps are
+// finished first: their mark bits encode the previous cycle's liveness
+// and must be consumed, not discarded.
 func (a *Allocator) ClearMarks() {
+	a.FinishSweep()
 	for bi := range a.blocks {
 		b := &a.blocks[bi]
 		switch b.state {
 		case blockLargeHead:
 			b.markBits[0] = 0
+			b.markedCount = 0
 		case blockSmall:
 			for i := range b.markBits {
 				b.markBits[i] = 0
 			}
+			b.markedCount = 0
 		}
 	}
 }
 
 // CountMarked returns the number and total bytes of marked objects; it
 // is used by mark-only experiments ("apparently accessible" counts in
-// the paper's section 3.1).
+// the paper's section 3.1). The count is computed from the bitmaps with
+// word-at-a-time population counts — independently of the maintained
+// summaries, so tests can cross-check the two.
 func (a *Allocator) CountMarked() (objects uint64, bytes uint64) {
 	for bi := range a.blocks {
 		b := &a.blocks[bi]
@@ -162,13 +380,12 @@ func (a *Allocator) CountMarked() (objects uint64, bytes uint64) {
 				bytes += uint64(int(b.objWords) * mem.WordBytes)
 			}
 		case blockSmall:
-			words := int(b.objWords)
-			for slot := 0; slot < slotsPerBlock(words); slot++ {
-				if bitGet(b.markBits, slot) {
-					objects++
-					bytes += uint64(words * mem.WordBytes)
-				}
+			n := 0
+			for _, w := range b.markBits {
+				n += bits.OnesCount64(w)
 			}
+			objects += uint64(n)
+			bytes += uint64(n) * uint64(int(b.objWords)*mem.WordBytes)
 		}
 	}
 	return objects, bytes
@@ -202,11 +419,23 @@ func (a *Allocator) Free(base mem.Addr) error {
 			return fmt.Errorf("alloc: Free(%#x): not an object base", uint32(base))
 		}
 		slot := off / (words * mem.WordBytes)
-		if slot >= slotsPerBlock(words) || !bitGet(b.allocBits, slot) {
+		if slot >= slotsPerBlock(words) {
+			return fmt.Errorf("alloc: Free(%#x): not allocated", uint32(base))
+		}
+		if b.pendingSweep {
+			// Complete the deferred sweep first: freeing a slot the lazy
+			// sweep still considers dead-or-free would double-thread it.
+			// The stale queue entry is discarded when popped.
+			a.sweepBlock(bi)
+		}
+		if !bitGet(b.allocBits, slot) {
 			return fmt.Errorf("alloc: Free(%#x): not allocated", uint32(base))
 		}
 		bitClear(b.allocBits, slot)
-		bitClear(b.markBits, slot)
+		if bitGet(b.markBits, slot) {
+			bitClear(b.markBits, slot)
+			b.markedCount--
+		}
 		b.liveSlots--
 		for w := 1; w < words; w++ {
 			hw[slot*words+w] = 0

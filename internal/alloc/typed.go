@@ -105,8 +105,23 @@ func (a *Allocator) AllocTyped(id DescID) (mem.Addr, error) {
 	return p, nil
 }
 
-// refillTyped dedicates a block to (class, descriptor) and threads it.
+// refillTyped replenishes the (class, descriptor) free list, first by
+// sweeping pending blocks of the same layout, then by dedicating and
+// threading a fresh block.
 func (a *Allocator) refillTyped(class, words int, id DescID, key typedKey) error {
+	if q, ok := a.sweepPendingTyped[key]; ok && len(q) > 0 {
+		for a.typedFree[key] == 0 {
+			bi, ok := a.popPending(&q)
+			if !ok {
+				break
+			}
+			a.sweepBlock(bi)
+		}
+		a.sweepPendingTyped[key] = q
+		if a.typedFree[key] != 0 {
+			return nil
+		}
+	}
 	bi, ok := a.acquireSpan(1, false)
 	if !ok {
 		return ErrNeedMemory

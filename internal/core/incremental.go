@@ -30,6 +30,9 @@ func (w *World) StartIncrementalCycle() error {
 	if w.incActive {
 		return nil
 	}
+	// Deferred lazy sweeps hold the previous cycle's liveness in their
+	// mark bits; they must land before this cycle marks anything.
+	w.Heap.FinishSweep()
 	w.Blacklist.BeginCycle()
 	w.Marker.Reset()
 	w.Heap.ClearDirty()
@@ -75,7 +78,9 @@ func (w *World) FinishIncrementalCycle() CollectionStats {
 			delete(w.finalizable, a)
 		}
 	}
+	sweepStart := time.Now()
 	sweep := w.Heap.Sweep()
+	pauseSweep := time.Since(sweepStart)
 	w.Heap.ResetSinceGC()
 	w.Heap.ClearDirty()
 	if w.cfg.ExpireAge > 0 {
@@ -84,13 +89,15 @@ func (w *World) FinishIncrementalCycle() CollectionStats {
 	w.collections++
 	w.incActive = false
 	w.last = CollectionStats{
-		Mark:        w.Marker.Stats(),
-		Sweep:       sweep,
-		Blacklist:   w.Blacklist.Stats(),
-		Duration:    time.Since(start),
-		HeapBytes:   w.Heap.Stats().HeapBytes,
-		Incremental: true,
-		Steps:       w.incSteps,
+		Mark:                w.Marker.Stats(),
+		Sweep:               sweep,
+		Blacklist:           w.Blacklist.Stats(),
+		Duration:            time.Since(start),
+		HeapBytes:           w.Heap.Stats().HeapBytes,
+		Incremental:         true,
+		Steps:               w.incSteps,
+		PauseSweepNs:        pauseSweep.Nanoseconds(),
+		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
 	w.incSteps = 0
 	w.fireHook()

@@ -147,6 +147,17 @@ type Config struct {
 	// pages are identical to a serial cycle's. Incremental cycles always
 	// mark serially: their bounded steps run inside the mutator.
 	MarkWorkers int
+
+	// LazySweep moves sweep work out of the stop-the-world pause: after
+	// marking, blocks are classified in O(1) each from their mark
+	// summaries — empty blocks released at the barrier, fully-live
+	// blocks left untouched, mixed blocks queued — and the allocator
+	// sweeps queued blocks on demand as it refills free lists, finishing
+	// any remainder before the next cycle's mark phase. Reclamation
+	// totals (CollectionStats.Sweep) are identical to the eager sweep's;
+	// only the timing of the per-slot work moves. Default off: the
+	// original eager sweep, unchanged.
+	LazySweep bool
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +234,13 @@ type CollectionStats struct {
 	// how many bounded marking steps preceded the finale.
 	Incremental bool
 	Steps       int
+	// PauseSweepNs is the part of the pause spent in the sweep phase:
+	// the O(blocks) classification barrier under LazySweep, the full
+	// per-slot heap walk otherwise.
+	PauseSweepNs int64
+	// SweepDeferredBlocks is how many blocks this cycle's sweep left
+	// pending for lazy sweeping (always 0 with LazySweep off).
+	SweepDeferredBlocks int
 }
 
 // World is one simulated process image under garbage collection.
@@ -298,6 +316,7 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 		FreeBlocks:               c.FreeBlocks,
 		SkipPageBoundarySlot:     c.SkipPageBoundarySlot,
 		DiscontiguousGrowth:      c.DiscontiguousGrowth,
+		LazySweep:                c.LazySweep,
 	})
 	if err != nil {
 		return nil, err
@@ -515,6 +534,10 @@ func (w *World) Collect() CollectionStats {
 		return w.FinishIncrementalCycle()
 	}
 	start := time.Now()
+	// Any sweep work the previous lazy cycle deferred must complete
+	// before mark bits change: a pending block's bits still encode that
+	// cycle's liveness. No-op with LazySweep off.
+	w.Heap.FinishSweep()
 	w.Blacklist.BeginCycle()
 	if w.cfg.Generational {
 		// Mark bits are sticky between minor cycles; a full collection
@@ -532,6 +555,7 @@ func (w *World) Collect() CollectionStats {
 			delete(w.finalizable, a)
 		}
 	}
+	sweepStart := time.Now()
 	var sweep alloc.SweepResult
 	if w.cfg.Generational {
 		// Survivors of a full cycle keep their mark bits: they are the
@@ -541,6 +565,7 @@ func (w *World) Collect() CollectionStats {
 	} else {
 		sweep = w.Heap.Sweep()
 	}
+	pauseSweep := time.Since(sweepStart)
 	w.Heap.ResetSinceGC()
 	if w.cfg.ExpireAge > 0 {
 		w.Blacklist.Expire(w.cfg.ExpireAge)
@@ -549,11 +574,13 @@ func (w *World) Collect() CollectionStats {
 	w.minorsSinceFull = 0
 	w.Heap.ClearDirty()
 	w.last = CollectionStats{
-		Mark:      mstats,
-		Sweep:     sweep,
-		Blacklist: w.Blacklist.Stats(),
-		Duration:  time.Since(start),
-		HeapBytes: w.Heap.Stats().HeapBytes,
+		Mark:                mstats,
+		Sweep:               sweep,
+		Blacklist:           w.Blacklist.Stats(),
+		Duration:            time.Since(start),
+		HeapBytes:           w.Heap.Stats().HeapBytes,
+		PauseSweepNs:        pauseSweep.Nanoseconds(),
+		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
 	w.fireHook()
 	return w.last
@@ -570,6 +597,9 @@ func (w *World) CollectMinor() CollectionStats {
 		return w.Collect()
 	}
 	start := time.Now()
+	// See Collect: the previous cycle's deferred sweeps must land before
+	// this cycle's marks.
+	w.Heap.FinishSweep()
 	w.Blacklist.BeginCycle()
 	mstats, dirty := w.markPhase(true)
 	for a := range w.finalizable {
@@ -578,7 +608,9 @@ func (w *World) CollectMinor() CollectionStats {
 			delete(w.finalizable, a)
 		}
 	}
+	sweepStart := time.Now()
 	sweep := w.Heap.SweepSticky()
+	pauseSweep := time.Since(sweepStart)
 	w.Heap.ResetSinceGC()
 	w.Heap.ClearDirty()
 	if w.cfg.ExpireAge > 0 {
@@ -587,14 +619,16 @@ func (w *World) CollectMinor() CollectionStats {
 	w.collections++
 	w.minorsSinceFull++
 	w.last = CollectionStats{
-		Mark:        mstats,
-		Sweep:       sweep,
-		Blacklist:   w.Blacklist.Stats(),
-		Duration:    time.Since(start),
-		HeapBytes:   w.Heap.Stats().HeapBytes,
-		Minor:       true,
-		DirtyBlocks: dirty,
-		Promoted:    mstats.ObjectsMarked,
+		Mark:                mstats,
+		Sweep:               sweep,
+		Blacklist:           w.Blacklist.Stats(),
+		Duration:            time.Since(start),
+		HeapBytes:           w.Heap.Stats().HeapBytes,
+		Minor:               true,
+		DirtyBlocks:         dirty,
+		Promoted:            mstats.ObjectsMarked,
+		PauseSweepNs:        pauseSweep.Nanoseconds(),
+		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
 	w.fireHook()
 	return w.last
@@ -610,6 +644,7 @@ func (w *World) MarkOnly() (objects, bytes uint64) {
 		// mark bits; complete the cycle first.
 		w.FinishIncrementalCycle()
 	}
+	w.Heap.FinishSweep() // pending bits are the previous cycle's, not this one's
 	w.markPhase(false)
 	objects, bytes = w.Heap.CountMarked()
 	w.Heap.ClearMarks()
@@ -626,6 +661,13 @@ func (w *World) LastCollection() CollectionStats { return w.last }
 // tracking: when a collection finds it unreachable, it is queued and
 // reported by DrainReclaimed.
 func (w *World) RegisterFinalizable(a mem.Addr) { w.finalizable[a] = struct{}{} }
+
+// FinishSweep completes any deferred (lazy) sweep work immediately and
+// returns the number of blocks swept; a no-op with LazySweep off.
+// Collections finish the remainder automatically before marking, so
+// explicit calls are only needed by tests and measurements that must
+// observe final reclamation state without running another cycle.
+func (w *World) FinishSweep() int { return w.Heap.FinishSweep() }
 
 // DrainReclaimed returns and clears the queue of reclaimed registered
 // objects.

@@ -91,6 +91,12 @@ type Profile struct {
 	// runs mark the identical object set (see core.Config.MarkWorkers)
 	// and exist for wall-clock speedups, not for different numbers.
 	MarkWorkers int
+
+	// LazySweep defers sweep work out of the collection pause (see
+	// core.Config.LazySweep). Reclamation totals are unchanged, so
+	// table-1 retention numbers are identical either way; the knob
+	// exists for pause-time measurements over profile workloads.
+	LazySweep bool
 }
 
 // ListBytes returns the payload bytes of one program-T list.
@@ -146,6 +152,7 @@ func (p Profile) Build(seed uint64, blacklisting bool) (*Env, error) {
 		Blacklisting:     mode,
 		GCDivisor:        p.GCDivisor,
 		MarkWorkers:      p.MarkWorkers,
+		LazySweep:        p.LazySweep,
 		AllocatorResidue: true,
 		// "In the PCedar environment, there are enough allocations of
 		// small objects known to be pointer-free that blacklisted pages

@@ -23,7 +23,12 @@ type MarkBenchRow struct {
 	NsPerMark     float64 `json:"ns_per_mark"`
 	MBPerSec      float64 `json:"mb_per_sec"`
 	ObjectsMarked uint64  `json:"objects_marked"`
-	Speedup       float64 `json:"speedup_vs_serial"`
+	// Speedup is serial time over this row's time — but only when the
+	// workers had real cores to run on. An oversubscribed row (more
+	// workers than GOMAXPROCS) reports 0: its workers serialise, so a
+	// "speedup" there is scheduler noise presented as a result.
+	Speedup        float64 `json:"speedup_vs_serial"`
+	Oversubscribed bool    `json:"oversubscribed"`
 }
 
 // MarkBenchResult is the full measurement with the environment it ran
@@ -44,7 +49,12 @@ type MarkBenchResult struct {
 // the parallelisation itself.
 func MarkBench(opts MarkBenchOptions) (*MarkBenchResult, *stats.Table, error) {
 	if len(opts.Workers) == 0 {
-		opts.Workers = []int{1, 2, 4, 8}
+		// Default to worker counts the machine can actually run in
+		// parallel. Explicit oversubscribed counts are still honoured,
+		// but their rows are flagged and report no speedup.
+		for w := 1; w <= runtime.GOMAXPROCS(0); w *= 2 {
+			opts.Workers = append(opts.Workers, w)
+		}
 	}
 	if opts.Lists == 0 {
 		opts.Lists = 64
@@ -96,16 +106,18 @@ func MarkBench(opts MarkBenchOptions) (*MarkBenchResult, *stats.Table, error) {
 		if workers == 1 {
 			serialNs = ns
 		}
+		over := workers > res.GoMaxProcs
 		speedup := 0.0
-		if serialNs > 0 {
+		if serialNs > 0 && !over {
 			speedup = serialNs / ns
 		}
 		res.Rows = append(res.Rows, MarkBenchRow{
-			Workers:       workers,
-			NsPerMark:     ns,
-			MBPerSec:      bytesPerMark / ns * 1e3, // ns → MB/s
-			ObjectsMarked: objs,
-			Speedup:       speedup,
+			Workers:        workers,
+			NsPerMark:      ns,
+			MBPerSec:       bytesPerMark / ns * 1e3, // ns → MB/s
+			ObjectsMarked:  objs,
+			Speedup:        speedup,
+			Oversubscribed: over,
 		})
 	}
 	tab := stats.NewTable(
@@ -113,10 +125,14 @@ func MarkBench(opts MarkBenchOptions) (*MarkBenchResult, *stats.Table, error) {
 			opts.Lists, opts.Nodes, res.GoMaxProcs, res.NumCPU),
 		"workers", "ms/mark", "MB/s", "speedup")
 	for _, r := range res.Rows {
+		speedup := fmt.Sprintf("%.2fx", r.Speedup)
+		if r.Oversubscribed {
+			speedup = "n/a (oversubscribed)"
+		}
 		tab.AddF(r.Workers,
 			fmt.Sprintf("%.2f", r.NsPerMark/1e6),
 			fmt.Sprintf("%.1f", r.MBPerSec),
-			fmt.Sprintf("%.2fx", r.Speedup))
+			speedup)
 	}
 	return res, tab, nil
 }

@@ -273,6 +273,9 @@ func TestSoundnessAcrossModes(t *testing.T) {
 		{"discontiguous", Config{DiscontiguousGrowth: true, Blacklisting: BlacklistHashed}},
 		{"gen-discontiguous", Config{Generational: true, MinorDivisor: 4,
 			DiscontiguousGrowth: true, Blacklisting: BlacklistHashed}},
+		{"lazy", Config{LazySweep: true}},
+		{"gen-lazy", Config{Generational: true, MinorDivisor: 4, LazySweep: true}},
+		{"inc-lazy", Config{Incremental: true, MarkQuantum: 8, LazySweep: true}},
 	}
 	for _, mode := range modes {
 		mode := mode
