@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench
+.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench benchgate fuzz-smoke
 
 ci: fmt vet build test race
 
@@ -21,10 +21,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel mark phase must be clean under the race detector; the
-# internal packages hold all of its tests (differential, fuzz seeds).
+# The parallel mark phase must be clean under the race detector. The
+# internal packages hold most of its tests (differential, fuzz seeds);
+# the root package adds the bench drivers and trace plumbing.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race . ./internal/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
@@ -45,3 +46,23 @@ markbench:
 # plus the parallel-mark measurement in the same artifact).
 sweepbench:
 	$(GO) run ./cmd/gcbench -experiment sweepbench -benchjson BENCH_2.json
+
+# Benchmark regression gate: rerun each benchmark in-process and diff
+# it against the checked-in baseline. Deterministic invariants (objects
+# marked, objects/bytes freed, deferred blocks) must match exactly;
+# timing may drift up to BENCHGATE_TOLERANCE x (generous because CI
+# hardware differs from the baseline machine — the gate catches
+# order-of-magnitude regressions and broken invariants, not jitter).
+BENCHGATE_TOLERANCE ?= 2
+benchgate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_1.json -tolerance $(BENCHGATE_TOLERANCE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_2.json -tolerance $(BENCHGATE_TOLERANCE)
+
+# Short fuzzing pass over every fuzz target. Each -fuzz pattern must
+# match exactly one target per package, hence one invocation apiece.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz '^FuzzAllocatorOps$$' -fuzztime $(FUZZTIME) ./internal/alloc
+	$(GO) test -run XXX -fuzz '^FuzzConcurrentMark$$' -fuzztime $(FUZZTIME) ./internal/alloc
+	$(GO) test -run XXX -fuzz '^FuzzMarkValue$$' -fuzztime $(FUZZTIME) ./internal/mark
+	$(GO) test -run XXX -fuzz '^FuzzMarkWords$$' -fuzztime $(FUZZTIME) ./internal/mark

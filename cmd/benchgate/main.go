@@ -1,0 +1,298 @@
+// Command benchgate is the CI benchmark regression gate: it compares a
+// candidate markbench/sweepbench result (a fresh in-process run by
+// default, or a -candidate JSON file) against a checked-in baseline and
+// fails when a timing metric regresses beyond the tolerance or a
+// deterministic invariant (objects marked, objects/bytes freed,
+// deferred blocks) diverges at all.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_1.json                  # run candidate in-process
+//	benchgate -baseline BENCH_2.json -tolerance 2
+//	benchgate -baseline old.json -candidate new.json  # compare two files
+//
+// The baseline schema is detected from its rows: rows keyed by
+// "workers" are a markbench result, rows keyed by "mode" are a
+// sweepbench result. A machine-readable JSON report goes to stdout.
+// Exit status: 0 pass, 1 regression, 2 usage or I/O error.
+//
+// Timing checks are gated as candidate <= baseline * tolerance, so the
+// default tolerance of 2 tolerates a 2x slowdown: CI machines differ
+// from the baseline machine, and the gate exists to catch order-of-
+// magnitude regressions and broken invariants, not jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+var (
+	baselinePath  = flag.String("baseline", "", "baseline benchmark JSON (required)")
+	candidatePath = flag.String("candidate", "", "candidate benchmark JSON; empty runs the matching benchmark in-process")
+	tolerance     = flag.Float64("tolerance", 2.0, "allowed candidate/baseline ratio for timing metrics")
+)
+
+// Check is one metric comparison in the report.
+type Check struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"` // "time" | "invariant"
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+	// Limit is the largest candidate value that passes (baseline *
+	// tolerance for time checks, baseline exactly for invariants).
+	Limit float64 `json:"limit"`
+	Pass  bool    `json:"pass"`
+}
+
+// Report is the gate's machine-readable verdict.
+type Report struct {
+	Schema    string  `json:"schema"` // "markbench" | "sweepbench"
+	Tolerance float64 `json:"tolerance"`
+	Checks    []Check `json:"checks"`
+	Pass      bool    `json:"pass"`
+}
+
+func (r *Report) timeCheck(name string, base, cand float64) {
+	limit := base * r.Tolerance
+	r.Checks = append(r.Checks, Check{
+		Name: name, Kind: "time",
+		Baseline: base, Candidate: cand, Limit: limit,
+		Pass: cand <= limit,
+	})
+}
+
+func (r *Report) invariantCheck(name string, base, cand float64) {
+	r.Checks = append(r.Checks, Check{
+		Name: name, Kind: "invariant",
+		Baseline: base, Candidate: cand, Limit: base,
+		Pass: cand == base,
+	})
+}
+
+func (r *Report) finish() *Report {
+	r.Pass = true
+	for _, c := range r.Checks {
+		if !c.Pass {
+			r.Pass = false
+		}
+	}
+	return r
+}
+
+// CompareMark gates a candidate markbench result against a baseline.
+// Rows are matched by worker count; a baseline row missing from the
+// candidate fails. Timing rows are only gated when neither side is
+// oversubscribed — an oversubscribed row measures scheduler contention,
+// not the collector.
+func CompareMark(base, cand *repro.MarkBenchResult, tol float64) *Report {
+	rep := &Report{Schema: "markbench", Tolerance: tol}
+	byWorkers := make(map[int]repro.MarkBenchRow)
+	for _, row := range cand.Rows {
+		byWorkers[row.Workers] = row
+	}
+	for _, b := range base.Rows {
+		c, ok := byWorkers[b.Workers]
+		name := fmt.Sprintf("workers=%d", b.Workers)
+		if !ok {
+			rep.Checks = append(rep.Checks, Check{
+				Name: name + "/present", Kind: "invariant",
+				Baseline: 1, Candidate: 0, Limit: 1, Pass: false,
+			})
+			continue
+		}
+		rep.invariantCheck(name+"/objects_marked",
+			float64(b.ObjectsMarked), float64(c.ObjectsMarked))
+		if !b.Oversubscribed && !c.Oversubscribed {
+			rep.timeCheck(name+"/ns_per_mark", b.NsPerMark, c.NsPerMark)
+		}
+	}
+	return rep.finish()
+}
+
+// CompareSweep gates a candidate sweepbench result against a baseline.
+// Rows are matched by mode ("eager"/"lazy"); reclamation totals and
+// deferred-block counts are deterministic and must match exactly. The
+// nested markbench result is gated too when both sides carry one.
+func CompareSweep(base, cand *repro.SweepBenchResult, tol float64) *Report {
+	rep := &Report{Schema: "sweepbench", Tolerance: tol}
+	byMode := make(map[string]repro.SweepBenchRow)
+	for _, row := range cand.Rows {
+		byMode[row.Mode] = row
+	}
+	for _, b := range base.Rows {
+		c, ok := byMode[b.Mode]
+		if !ok {
+			rep.Checks = append(rep.Checks, Check{
+				Name: b.Mode + "/present", Kind: "invariant",
+				Baseline: 1, Candidate: 0, Limit: 1, Pass: false,
+			})
+			continue
+		}
+		rep.invariantCheck(b.Mode+"/objects_freed",
+			float64(b.ObjectsFreed), float64(c.ObjectsFreed))
+		rep.invariantCheck(b.Mode+"/bytes_freed",
+			float64(b.BytesFreed), float64(c.BytesFreed))
+		rep.invariantCheck(b.Mode+"/deferred_blocks",
+			float64(b.DeferredBlocks), float64(c.DeferredBlocks))
+		rep.timeCheck(b.Mode+"/avg_pause_ns", b.AvgPauseNs, c.AvgPauseNs)
+		rep.timeCheck(b.Mode+"/max_pause_ns",
+			float64(b.MaxPauseNs), float64(c.MaxPauseNs))
+		rep.timeCheck(b.Mode+"/avg_sweep_pause_ns", b.AvgSweepPauseNs, c.AvgSweepPauseNs)
+		rep.timeCheck(b.Mode+"/max_sweep_pause_ns",
+			float64(b.MaxSweepPauseNs), float64(c.MaxSweepPauseNs))
+	}
+	if base.Mark != nil && cand.Mark != nil {
+		sub := CompareMark(base.Mark, cand.Mark, tol)
+		for _, c := range sub.Checks {
+			c.Name = "mark/" + c.Name
+			rep.Checks = append(rep.Checks, c)
+		}
+	}
+	return rep.finish()
+}
+
+// detectSchema classifies a benchmark JSON by its first row's keys.
+func detectSchema(data []byte) (string, error) {
+	var probe struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", err
+	}
+	if len(probe.Rows) == 0 {
+		return "", fmt.Errorf("no rows")
+	}
+	if _, ok := probe.Rows[0]["mode"]; ok {
+		return "sweepbench", nil
+	}
+	if _, ok := probe.Rows[0]["workers"]; ok {
+		return "markbench", nil
+	}
+	return "", fmt.Errorf("rows have neither \"mode\" nor \"workers\" keys")
+}
+
+// Gate loads the baseline, obtains a candidate (from candidatePath or a
+// fresh in-process run matched to the baseline's parameters), and
+// returns the comparison report.
+func Gate(baselinePath, candidatePath string, tol float64) (*Report, error) {
+	baseData, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := detectSchema(baseData)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	var candData []byte
+	if candidatePath != "" {
+		candData, err = os.ReadFile(candidatePath)
+		if err != nil {
+			return nil, err
+		}
+		candSchema, err := detectSchema(candData)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", candidatePath, err)
+		}
+		if candSchema != schema {
+			return nil, fmt.Errorf("schema mismatch: baseline %s, candidate %s", schema, candSchema)
+		}
+	}
+	switch schema {
+	case "markbench":
+		var base repro.MarkBenchResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, err
+		}
+		var cand repro.MarkBenchResult
+		if candData != nil {
+			if err := json.Unmarshal(candData, &cand); err != nil {
+				return nil, err
+			}
+		} else {
+			var workers []int
+			for _, r := range base.Rows {
+				workers = append(workers, r.Workers)
+			}
+			res, _, err := repro.MarkBench(repro.MarkBenchOptions{
+				Workers: workers, Lists: base.Lists, Nodes: base.Nodes,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cand = *res
+		}
+		return CompareMark(&base, &cand, tol), nil
+	case "sweepbench":
+		var base repro.SweepBenchResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, err
+		}
+		var cand repro.SweepBenchResult
+		if candData != nil {
+			if err := json.Unmarshal(candData, &cand); err != nil {
+				return nil, err
+			}
+		} else {
+			cycles := 0
+			if len(base.Rows) > 0 {
+				cycles = base.Rows[0].Cycles
+			}
+			res, _, err := repro.SweepBench(repro.SweepBenchOptions{
+				Lists: base.Lists, Nodes: base.Nodes, Cycles: cycles,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if base.Mark != nil {
+				var workers []int
+				for _, r := range base.Mark.Rows {
+					workers = append(workers, r.Workers)
+				}
+				mark, _, err := repro.MarkBench(repro.MarkBenchOptions{
+					Workers: workers, Lists: base.Mark.Lists, Nodes: base.Mark.Nodes,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res.Mark = mark
+			}
+			cand = *res
+		}
+		return CompareSweep(&base, &cand, tol), nil
+	}
+	return nil, fmt.Errorf("unreachable schema %q", schema)
+}
+
+func main() {
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	rep, err := Gate(*baselinePath, *candidatePath, *tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if !rep.Pass {
+		for _, c := range rep.Checks {
+			if !c.Pass {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %g > limit %g (baseline %g)\n",
+					c.Name, c.Candidate, c.Limit, c.Baseline)
+			}
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func markBase() *repro.MarkBenchResult {
+	return &repro.MarkBenchResult{
+		GoMaxProcs: 4, NumCPU: 4, Lists: 8, Nodes: 100,
+		Rows: []repro.MarkBenchRow{
+			{Workers: 1, NsPerMark: 1000, ObjectsMarked: 800, Speedup: 1},
+			{Workers: 2, NsPerMark: 600, ObjectsMarked: 800, Speedup: 1.67},
+		},
+	}
+}
+
+func sweepBase() *repro.SweepBenchResult {
+	return &repro.SweepBenchResult{
+		GoMaxProcs: 1, NumCPU: 1, Lists: 8, Nodes: 100,
+		Rows: []repro.SweepBenchRow{
+			{Mode: "eager", Cycles: 5, AvgPauseNs: 1000, MaxPauseNs: 2000,
+				AvgSweepPauseNs: 100, MaxSweepPauseNs: 200,
+				ObjectsFreed: 500, BytesFreed: 4000},
+			{Mode: "lazy", Cycles: 5, AvgPauseNs: 900, MaxPauseNs: 1800,
+				AvgSweepPauseNs: 20, MaxSweepPauseNs: 40,
+				DeferredBlocks: 30, ObjectsFreed: 500, BytesFreed: 4000},
+		},
+	}
+}
+
+func TestIdenticalResultsPass(t *testing.T) {
+	if rep := CompareMark(markBase(), markBase(), 2); !rep.Pass {
+		t.Fatalf("identical markbench results failed the gate: %+v", rep.Checks)
+	}
+	if rep := CompareSweep(sweepBase(), sweepBase(), 2); !rep.Pass {
+		t.Fatalf("identical sweepbench results failed the gate: %+v", rep.Checks)
+	}
+}
+
+func TestTimeRegressionFails(t *testing.T) {
+	cand := markBase()
+	cand.Rows[0].NsPerMark = 2001 // baseline 1000, tolerance 2 -> limit 2000
+	rep := CompareMark(markBase(), cand, 2)
+	if rep.Pass {
+		t.Fatal("2.001x mark-time regression passed a 2x gate")
+	}
+	var failed string
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			failed = c.Name
+		}
+	}
+	if failed != "workers=1/ns_per_mark" {
+		t.Fatalf("wrong failing check %q", failed)
+	}
+}
+
+func TestWithinTolerancePasses(t *testing.T) {
+	cand := markBase()
+	cand.Rows[0].NsPerMark = 1999
+	if rep := CompareMark(markBase(), cand, 2); !rep.Pass {
+		t.Fatalf("1.999x slowdown failed a 2x gate: %+v", rep.Checks)
+	}
+}
+
+func TestInvariantDivergenceFails(t *testing.T) {
+	cand := markBase()
+	cand.Rows[1].ObjectsMarked = 799 // deterministic count must match exactly
+	if rep := CompareMark(markBase(), cand, 2); rep.Pass {
+		t.Fatal("diverged objects_marked passed the gate")
+	}
+	scand := sweepBase()
+	scand.Rows[1].BytesFreed = 3999
+	if rep := CompareSweep(sweepBase(), scand, 2); rep.Pass {
+		t.Fatal("diverged bytes_freed passed the gate")
+	}
+}
+
+func TestSweepTimeRegressionFails(t *testing.T) {
+	cand := sweepBase()
+	cand.Rows[0].MaxPauseNs = 4001 // baseline 2000, limit 4000
+	if rep := CompareSweep(sweepBase(), cand, 2); rep.Pass {
+		t.Fatal("max-pause regression passed the gate")
+	}
+}
+
+func TestMissingRowFails(t *testing.T) {
+	cand := markBase()
+	cand.Rows = cand.Rows[:1]
+	if rep := CompareMark(markBase(), cand, 2); rep.Pass {
+		t.Fatal("candidate missing a baseline row passed the gate")
+	}
+}
+
+func TestOversubscribedRowsSkipTimeCheck(t *testing.T) {
+	base := markBase()
+	base.Rows[1].Oversubscribed = true
+	cand := markBase()
+	cand.Rows[1].Oversubscribed = true
+	cand.Rows[1].NsPerMark = 1e12 // scheduler noise must not gate
+	if rep := CompareMark(base, cand, 2); !rep.Pass {
+		t.Fatalf("oversubscribed row's time was gated: %+v", rep.Checks)
+	}
+}
+
+func TestNestedMarkResultGated(t *testing.T) {
+	base := sweepBase()
+	base.Mark = markBase()
+	cand := sweepBase()
+	cand.Mark = markBase()
+	cand.Mark.Rows[0].ObjectsMarked = 1
+	rep := CompareSweep(base, cand, 2)
+	if rep.Pass {
+		t.Fatal("diverged nested markbench invariant passed the gate")
+	}
+	found := false
+	for _, c := range rep.Checks {
+		if c.Name == "mark/workers=1/objects_marked" && !c.Pass {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("nested check not reported: %+v", rep.Checks)
+	}
+}
+
+// writeJSON marshals v into a temp file and returns its path.
+func writeJSON(t *testing.T, name string, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateDetectsSchemaAndCompares(t *testing.T) {
+	basePath := writeJSON(t, "base.json", markBase())
+	cand := markBase()
+	cand.Rows[0].NsPerMark = 5000
+	candPath := writeJSON(t, "cand.json", cand)
+	rep, err := Gate(basePath, candPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "markbench" {
+		t.Fatalf("schema = %q, want markbench", rep.Schema)
+	}
+	if rep.Pass {
+		t.Fatal("5x regression passed the gate")
+	}
+
+	sPath := writeJSON(t, "sweep.json", sweepBase())
+	rep, err = Gate(sPath, writeJSON(t, "scand.json", sweepBase()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "sweepbench" || !rep.Pass {
+		t.Fatalf("identical sweepbench baseline: schema=%q pass=%v", rep.Schema, rep.Pass)
+	}
+}
+
+func TestGateSchemaMismatch(t *testing.T) {
+	if _, err := Gate(writeJSON(t, "b.json", markBase()),
+		writeJSON(t, "c.json", sweepBase()), 2); err == nil {
+		t.Fatal("markbench baseline vs sweepbench candidate did not error")
+	}
+}
+
+// TestGateInProcessCandidate runs the real benchmark as the candidate
+// against a baseline whose invariants were produced by the same
+// parameters, exercising the default CI path end to end. Timing fields
+// in the baseline are set absurdly high so only invariants can fail.
+func TestGateInProcessCandidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real markbench")
+	}
+	base := &repro.MarkBenchResult{
+		Lists: 4, Nodes: 50,
+		Rows: []repro.MarkBenchRow{
+			{Workers: 1, NsPerMark: 1e15, ObjectsMarked: 200},
+		},
+	}
+	rep, err := Gate(writeJSON(t, "b.json", base), "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("in-process candidate failed: %+v", rep.Checks)
+	}
+}

@@ -51,7 +51,40 @@ var (
 	format     = flag.String("format", "text", "table output format: text|markdown")
 	benchJSON  = flag.String("benchjson", "", "write markbench/sweepbench results as JSON to this file")
 	workers    = flag.String("workers", "", "comma-separated markbench worker counts (default: powers of two up to GOMAXPROCS)")
+	traceOut   = flag.String("trace", "", "write a JSON event trace of markbench/sweepbench collections to this file")
 )
+
+// benchTracer returns the shared trace recorder for the bench
+// experiments, creating it on first use when -trace is set.
+var benchTracer *repro.TraceRecorder
+
+func getBenchTracer() *repro.TraceRecorder {
+	if *traceOut != "" && benchTracer == nil {
+		benchTracer = repro.NewTraceRecorder(0)
+	}
+	return benchTracer
+}
+
+// writeTrace flushes the recorder to the -trace file, if both exist.
+func writeTrace() error {
+	if *traceOut == "" || benchTracer == nil {
+		return nil
+	}
+	f, err := os.Create(*traceOut)
+	if err != nil {
+		return err
+	}
+	if err := benchTracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d events, %d dropped)\n",
+		*traceOut, min(benchTracer.Emitted(), uint64(benchTracer.Capacity())), benchTracer.Dropped())
+	return nil
+}
 
 // printTable renders a result table in the selected format.
 func printTable(tab *stats.Table) {
@@ -309,7 +342,7 @@ func runMarkBench() error {
 	if err != nil {
 		return err
 	}
-	res, tab, err := repro.MarkBench(repro.MarkBenchOptions{Workers: counts})
+	res, tab, err := repro.MarkBench(repro.MarkBenchOptions{Workers: counts, Trace: getBenchTracer()})
 	if err != nil {
 		return err
 	}
@@ -328,11 +361,11 @@ func runMarkBench() error {
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 	}
-	return nil
+	return writeTrace()
 }
 
 func runSweepBench() error {
-	res, tab, err := repro.SweepBench(repro.SweepBenchOptions{})
+	res, tab, err := repro.SweepBench(repro.SweepBenchOptions{Trace: getBenchTracer()})
 	if err != nil {
 		return err
 	}
@@ -341,7 +374,7 @@ func runSweepBench() error {
 	fmt.Println("mark-summary scan; the per-slot work is paid during allocation instead.")
 	fmt.Println("Reclamation totals are identical by construction (checked above). Unlike")
 	fmt.Println("mark speedups, this needs no extra cores, so GOMAXPROCS=1 is honest here.")
-	mark, mtab, err := repro.MarkBench(repro.MarkBenchOptions{})
+	mark, mtab, err := repro.MarkBench(repro.MarkBenchOptions{Trace: getBenchTracer()})
 	if err != nil {
 		return err
 	}
@@ -357,7 +390,7 @@ func runSweepBench() error {
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 	}
-	return nil
+	return writeTrace()
 }
 
 func runObs5() error {

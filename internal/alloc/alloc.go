@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/blacklist"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // ErrNeedMemory reports that a request cannot be satisfied from the
@@ -321,6 +322,9 @@ type Allocator struct {
 	// case. Atomic because parallel mark workers share the allocator
 	// read-only except for this hint.
 	lastExtent atomic.Int32
+	// tracer receives heap-expansion, desperate-allocation and lazy
+	// sweep-drain events; nil (the default) disables them.
+	tracer *trace.Recorder
 }
 
 // typedKey identifies a typed free list.
@@ -610,6 +614,7 @@ func (a *Allocator) refill(class int, atomic bool, idx int, desperate bool) erro
 	}
 	if desperate && a.cfg.Blacklist.Contains(a.blockBase(bi)) {
 		a.stats.DesperateAllocs++
+		a.tracer.Emit(trace.EvDesperateAlloc, int64(a.blockBase(bi)), 0, 0)
 	}
 	nslots := slotsPerBlock(words)
 	b := &a.blocks[bi]
@@ -659,6 +664,7 @@ func (a *Allocator) allocLargeCommon(nwords int, atomic, desperate, ignoreOffPag
 		lo := a.blockBase(bi)
 		if a.cfg.Blacklist.ContainsRange(lo, lo+mem.Addr(nblocks*mem.PageBytes)) {
 			a.stats.DesperateAllocs++
+			a.tracer.Emit(trace.EvDesperateAlloc, int64(lo), 0, 0)
 		}
 	}
 	a.blocks[bi] = blockDesc{
@@ -844,6 +850,7 @@ func (a *Allocator) Expand(bytes int) error {
 	a.stats.HeapBytes += bytes
 	a.stats.BlocksFree += n
 	a.stats.Expansions++
+	a.tracer.Emit(trace.EvHeapExpand, int64(bytes), int64(a.stats.HeapBytes), int64(a.stats.Expansions))
 	return nil
 }
 
@@ -1076,6 +1083,11 @@ func (a *Allocator) ObjectSpan(base mem.Addr) (words int, atomic bool) {
 
 // Stats returns a copy of the allocator statistics.
 func (a *Allocator) Stats() Stats { return a.stats }
+
+// SetTracer attaches r to receive heap-expansion, desperate-allocation
+// and lazy sweep-drain events (nil detaches). Set it outside an active
+// mark phase: the allocator reads it unsynchronised.
+func (a *Allocator) SetTracer(r *trace.Recorder) { a.tracer = r }
 
 // ResetSinceGC zeroes the allocation-since-collection counter; the
 // collector calls it after each cycle.

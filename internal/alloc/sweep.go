@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // SweepResult reports what one sweep reclaimed and retained.
@@ -292,6 +293,7 @@ func (a *Allocator) sweepBlock(bi int) {
 	b.pendingSweep = false
 	a.pendingBlocks--
 	a.stats.LazySweptBlocks++
+	a.tracer.Emit(trace.EvSweepDrain, int64(bi), int64(a.pendingBlocks), 0)
 	a.sweepSmall(bi, a.lazyClearMarks)
 }
 

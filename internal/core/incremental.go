@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Incremental collection, after the mostly-parallel design the paper
@@ -30,6 +32,7 @@ func (w *World) StartIncrementalCycle() error {
 	if w.incActive {
 		return nil
 	}
+	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 2)
 	// Deferred lazy sweeps hold the previous cycle's liveness in their
 	// mark bits; they must land before this cycle marks anything.
 	w.Heap.FinishSweep()
@@ -55,7 +58,9 @@ func (w *World) IncrementalStep(quantum int) bool {
 		quantum = 64
 	}
 	w.incSteps++
-	return w.Marker.DrainN(quantum)
+	done := w.Marker.DrainN(quantum)
+	w.tracer.Emit(trace.EvIncStep, int64(w.incSteps), int64(w.Marker.Pending()), 0)
+	return done
 }
 
 // FinishIncrementalCycle runs the stop-the-world finale: rescan pages
@@ -67,17 +72,21 @@ func (w *World) FinishIncrementalCycle() CollectionStats {
 		return w.last
 	}
 	start := time.Now()
+	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), 1, 2)
 	w.Heap.DirtyBlocks(func(bi int) {
 		w.Heap.ForEachMarkedObject(bi, w.Marker.ScanObject)
 	})
 	w.markRoots()
 	w.Marker.Drain()
+	pauseMark := time.Since(start)
+	w.traceMarkEnd(w.Marker.Stats())
 	for a := range w.finalizable {
 		if !w.Heap.Marked(a) {
 			w.reclaimed = append(w.reclaimed, a)
 			delete(w.finalizable, a)
 		}
 	}
+	w.traceSweepBegin(2)
 	sweepStart := time.Now()
 	sweep := w.Heap.Sweep()
 	pauseSweep := time.Since(sweepStart)
@@ -96,10 +105,12 @@ func (w *World) FinishIncrementalCycle() CollectionStats {
 		HeapBytes:           w.Heap.Stats().HeapBytes,
 		Incremental:         true,
 		Steps:               w.incSteps,
+		PauseMarkNs:         pauseMark.Nanoseconds(),
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
 		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
 	w.incSteps = 0
+	w.traceCycleEnd(w.last)
 	w.fireHook()
 	return w.last
 }

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// kindSeq extracts the kind sequence from a recorder's surviving
+// events, filtered to the given set (nil keeps everything).
+func kindSeq(r *trace.Recorder, keep map[trace.Kind]bool) []trace.Kind {
+	var out []trace.Kind
+	for _, ev := range r.Events() {
+		if keep == nil || keep[ev.Kind] {
+			out = append(out, ev.Kind)
+		}
+	}
+	return out
+}
+
+func countKind(r *trace.Recorder, k trace.Kind) int {
+	n := 0
+	for _, ev := range r.Events() {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// churn allocates count two-word objects, rooting every other one in
+// consecutive data-segment slots starting at base. Identical input
+// worlds perform identical work — the differential tests rely on it.
+func churn(t *testing.T, w *World, data *mem.Segment, base mem.Addr, count int) []mem.Addr {
+	t.Helper()
+	addrs := make([]mem.Addr, 0, count)
+	for i := 0; i < count; i++ {
+		a, err := w.Allocate(2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+		if i%2 == 0 {
+			if err := data.Store(base+mem.Addr(4*(i/2)), mem.Word(a)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return addrs
+}
+
+// TestCollectZeroAllocsUntraced is the overhead budget's teeth: with no
+// tracer attached, a steady-state collection must not allocate — the
+// nil-recorder fast path, the metrics' pre-registered atomics, and the
+// root-scan scratch slice together keep the whole cycle allocation
+// free, so observability costs nothing when off.
+func TestCollectZeroAllocsUntraced(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1})
+	data := addData(t, w, "data", 0x2000, 4096)
+	churn(t, w, data, 0x2000, 64)
+	w.Collect() // warm up: size the mark stack and sweep structures
+	w.Collect()
+	avg := testing.AllocsPerRun(10, func() { w.Collect() })
+	if avg != 0 {
+		t.Fatalf("untraced Collect allocates %v times per cycle, want 0", avg)
+	}
+}
+
+// TestCollectZeroAllocsUntracedLazy repeats the budget check with lazy
+// sweeping: deferring and draining sweep work must not allocate either.
+func TestCollectZeroAllocsUntracedLazy(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1, LazySweep: true})
+	data := addData(t, w, "data", 0x2000, 4096)
+	churn(t, w, data, 0x2000, 64)
+	w.Collect()
+	w.Collect()
+	w.FinishSweep()
+	avg := testing.AllocsPerRun(10, func() {
+		w.Collect()
+		w.FinishSweep()
+	})
+	if avg != 0 {
+		t.Fatalf("untraced lazy Collect allocates %v times per cycle, want 0", avg)
+	}
+}
+
+// TestCollectAllocBoundUntracedParallel pins the parallel mark phase's
+// per-cycle allocation budget at exactly one per worker: the `go`
+// statement spawning it (a persistent pool would save that alloc but
+// leak blocked goroutines from every dropped World). Anything above the
+// spawn cost — closures, WaitGroups, tracing residue — fails.
+func TestCollectAllocBoundUntracedParallel(t *testing.T) {
+	const workers = 2
+	w := newWorld(t, Config{GCDivisor: -1, MarkWorkers: workers, LazySweep: true})
+	data := addData(t, w, "data", 0x2000, 4096)
+	churn(t, w, data, 0x2000, 64)
+	w.Collect()
+	w.Collect()
+	w.FinishSweep()
+	avg := testing.AllocsPerRun(10, func() {
+		w.Collect()
+		w.FinishSweep()
+	})
+	if avg > workers {
+		t.Fatalf("untraced parallel Collect allocates %v times per cycle, want <= %d (one spawn per worker)", avg, workers)
+	}
+}
+
+// TestTracingDifferential asserts observability changes nothing it
+// observes: the same workload in a traced world (ring buffer + gctrace
+// sink attached) and an untraced one yields identical allocation
+// addresses and identical CollectionStats up to timing.
+func TestTracingDifferential(t *testing.T) {
+	run := func(traced bool) ([]mem.Addr, []CollectionStats) {
+		w := newWorld(t, Config{GCDivisor: -1})
+		if traced {
+			w.EnableTracing(0)
+			w.SetGCTrace(&bytes.Buffer{})
+		}
+		data := addData(t, w, "data", 0x2000, 4096)
+		var stats []CollectionStats
+		var addrs []mem.Addr
+		for round := 0; round < 3; round++ {
+			addrs = append(addrs, churn(t, w, data, 0x2000, 48)...)
+			stats = append(stats, w.Collect())
+		}
+		return addrs, stats
+	}
+	plainAddrs, plainStats := run(false)
+	tracedAddrs, tracedStats := run(true)
+	if len(plainAddrs) != len(tracedAddrs) {
+		t.Fatalf("allocation counts diverge: %d vs %d", len(plainAddrs), len(tracedAddrs))
+	}
+	for i := range plainAddrs {
+		if plainAddrs[i] != tracedAddrs[i] {
+			t.Fatalf("allocation %d diverges: %#x untraced, %#x traced", i, plainAddrs[i], tracedAddrs[i])
+		}
+	}
+	for i := range plainStats {
+		a, b := plainStats[i], tracedStats[i]
+		a.Duration, b.Duration = 0, 0
+		a.PauseMarkNs, b.PauseMarkNs = 0, 0
+		a.PauseSweepNs, b.PauseSweepNs = 0, 0
+		if a != b {
+			t.Fatalf("cycle %d stats diverge:\nuntraced %+v\ntraced   %+v", i, a, b)
+		}
+	}
+}
+
+// TestTraceEventOrdering checks a full collection emits its phase spans
+// in order with consistent arguments.
+func TestTraceEventOrdering(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1})
+	r := w.EnableTracing(0)
+	data := addData(t, w, "data", 0x2000, 4096)
+	churn(t, w, data, 0x2000, 32)
+	st := w.Collect()
+
+	phases := map[trace.Kind]bool{
+		trace.EvCycleBegin: true, trace.EvMarkBegin: true, trace.EvMarkEnd: true,
+		trace.EvSweepBegin: true, trace.EvSweepEnd: true, trace.EvCycleEnd: true,
+	}
+	want := []trace.Kind{
+		trace.EvCycleBegin, trace.EvMarkBegin, trace.EvMarkEnd,
+		trace.EvSweepBegin, trace.EvSweepEnd, trace.EvCycleEnd,
+	}
+	got := kindSeq(r, phases)
+	if len(got) != len(want) {
+		t.Fatalf("phase events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phase events = %v, want %v", got, want)
+		}
+	}
+	for _, ev := range r.Events() {
+		switch ev.Kind {
+		case trace.EvCycleBegin:
+			if ev.A0 != 1 || ev.A2 != 0 {
+				t.Fatalf("cycle_begin args = %+v, want cycle 1 kind 0", ev)
+			}
+		case trace.EvMarkEnd:
+			if uint64(ev.A0) != st.Mark.ObjectsMarked || uint64(ev.A1) != st.Mark.BytesMarked {
+				t.Fatalf("mark_end args = %+v, stats %+v", ev, st.Mark)
+			}
+		case trace.EvSweepEnd:
+			if uint64(ev.A0) != st.Sweep.ObjectsFreed || uint64(ev.A1) != st.Sweep.BytesFreed {
+				t.Fatalf("sweep_end args = %+v, stats %+v", ev, st.Sweep)
+			}
+		case trace.EvCycleEnd:
+			if uint64(ev.A1) != st.Sweep.ObjectsLive {
+				t.Fatalf("cycle_end args = %+v, stats %+v", ev, st.Sweep)
+			}
+		}
+	}
+	// Timestamps never decrease within the surviving window.
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeNs < evs[i-1].TimeNs {
+			t.Fatalf("timestamps regress: %d then %d", evs[i-1].TimeNs, evs[i].TimeNs)
+		}
+	}
+}
+
+// TestTraceWorkerEvents checks parallel cycles report per-worker totals
+// that sum to the cycle's.
+func TestTraceWorkerEvents(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1, MarkWorkers: 4})
+	r := w.EnableTracing(0)
+	data := addData(t, w, "data", 0x2000, 4096)
+	churn(t, w, data, 0x2000, 64)
+	st := w.Collect()
+	var workers, objects uint64
+	for _, ev := range r.Events() {
+		if ev.Kind == trace.EvWorkerMark {
+			workers++
+			objects += uint64(ev.A1)
+		}
+	}
+	if workers != 4 {
+		t.Fatalf("worker_mark events = %d, want 4", workers)
+	}
+	if objects != st.Mark.ObjectsMarked {
+		t.Fatalf("worker totals sum to %d objects, cycle marked %d", objects, st.Mark.ObjectsMarked)
+	}
+}
+
+// TestTraceMinorAndIncrementalCycles checks the cycle-kind argument
+// convention (0 full, 1 minor, 2 incremental) and the incremental step
+// events.
+func TestTraceMinorAndIncrementalCycles(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1, Generational: true})
+	r := w.EnableTracing(0)
+	data := addData(t, w, "data", 0x2000, 4096)
+	churn(t, w, data, 0x2000, 32)
+	w.CollectMinor()
+	begins := 0
+	for _, ev := range r.Events() {
+		if ev.Kind == trace.EvCycleBegin {
+			begins++
+			if ev.A2 != 1 {
+				t.Fatalf("minor cycle_begin kind = %d, want 1", ev.A2)
+			}
+		}
+	}
+	if begins != 1 {
+		t.Fatalf("cycle_begin events = %d, want 1", begins)
+	}
+
+	wi := newWorld(t, Config{GCDivisor: -1, Incremental: true})
+	ri := wi.EnableTracing(0)
+	datai := addData(t, wi, "data", 0x2000, 4096)
+	churn(t, wi, datai, 0x2000, 32)
+	if err := wi.StartIncrementalCycle(); err != nil {
+		t.Fatal(err)
+	}
+	for !wi.IncrementalStep(8) {
+	}
+	st := wi.FinishIncrementalCycle()
+	if !st.Incremental || st.Steps == 0 {
+		t.Fatalf("incremental stats = %+v", st)
+	}
+	if got := countKind(ri, trace.EvIncStep); got != st.Steps {
+		t.Fatalf("inc_step events = %d, stats.Steps = %d", got, st.Steps)
+	}
+	for _, ev := range ri.Events() {
+		if ev.Kind == trace.EvCycleBegin && ev.A2 != 2 {
+			t.Fatalf("incremental cycle_begin kind = %d, want 2", ev.A2)
+		}
+	}
+}
+
+// TestTraceBlacklistAndAllocTrigger checks the marker's blacklist
+// additions and allocation-triggered collections reach the trace and
+// the gc_alloc_triggered counter.
+func TestTraceBlacklistAndAllocTrigger(t *testing.T) {
+	w := newWorld(t, Config{
+		Blacklisting: BlacklistDense, GCDivisor: 4,
+		InitialHeapBytes: 1 << 16, ReserveHeapBytes: 1 << 20,
+	})
+	r := w.EnableTracing(0)
+	data := addData(t, w, "data", 0x2000, 4096)
+	// A near-heap non-pointer: one page past the committed heap.
+	hs := w.Heap.Stats()
+	data.Store(0x2000, mem.Word(uint32(w.cfg.HeapBase)+uint32(hs.HeapBytes)+mem.PageBytes))
+	w.Collect()
+	if countKind(r, trace.EvBlacklistPage) == 0 {
+		t.Fatal("no blacklist_page events from a near-heap false reference")
+	}
+
+	// Allocate until the divisor triggers a collection on its own.
+	before := w.Collections()
+	for i := 0; i < 20000 && w.Collections() == before; i++ {
+		if _, err := w.Allocate(4, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Collections() == before {
+		t.Fatal("allocation never triggered a collection")
+	}
+	if countKind(r, trace.EvAllocTrigger) == 0 {
+		t.Fatal("no alloc_trigger events from a triggered collection")
+	}
+	if v, ok := w.Metrics().Value("gc_alloc_triggered"); !ok || v < 1 {
+		t.Fatalf("gc_alloc_triggered = %d (ok=%v), want >= 1", v, ok)
+	}
+}
+
+// TestMetricsMatchCollectionStats asserts the registry's counters are
+// exactly the running sums of the per-cycle CollectionStats, and the
+// gauges mirror the allocator — CollectionStats is a per-cycle view of
+// the same accounting the registry accumulates.
+func TestMetricsMatchCollectionStats(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1})
+	data := addData(t, w, "data", 0x2000, 4096)
+	var sum struct {
+		cycles, objectsMarked, bytesMarked uint64
+		objectsSwept, bytesSwept           uint64
+		pauseNs, markPauseNs, sweepNs      uint64
+	}
+	w.SetCollectionHook(func(st CollectionStats) {
+		sum.cycles++
+		sum.objectsMarked += st.Mark.ObjectsMarked
+		sum.bytesMarked += st.Mark.BytesMarked
+		sum.objectsSwept += st.Sweep.ObjectsFreed
+		sum.bytesSwept += st.Sweep.BytesFreed
+		sum.pauseNs += uint64(st.Duration.Nanoseconds())
+		sum.markPauseNs += uint64(st.PauseMarkNs)
+		sum.sweepNs += uint64(st.PauseSweepNs)
+	})
+	for round := 0; round < 4; round++ {
+		churn(t, w, data, 0x2000, 40)
+		w.Collect()
+	}
+	reg := w.Metrics()
+	check := func(name string, want uint64) {
+		t.Helper()
+		got, ok := reg.Value(name)
+		if !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+		if uint64(got) != want {
+			t.Fatalf("%s = %d, hook sum = %d", name, got, want)
+		}
+	}
+	check("gc_cycles", sum.cycles)
+	check("objects_marked", sum.objectsMarked)
+	check("bytes_marked", sum.bytesMarked)
+	check("objects_swept", sum.objectsSwept)
+	check("bytes_swept", sum.bytesSwept)
+	check("pause_ns", sum.pauseNs)
+	check("mark_pause_ns", sum.markPauseNs)
+	check("sweep_pause_ns", sum.sweepNs)
+
+	hs := w.Heap.Stats()
+	check("heap_bytes", uint64(hs.HeapBytes))
+	check("live_bytes", hs.BytesLive)
+	check("live_objects", hs.ObjectsLive)
+	check("bytes_allocated", hs.BytesAllocated)
+	check("objects_allocated", hs.ObjectsAllocated)
+	check("mark_workers", 1)
+}
+
+// TestGCTraceLine checks the one-line-per-cycle text mode's shape.
+func TestGCTraceLine(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1})
+	var buf bytes.Buffer
+	w.SetGCTrace(&buf)
+	data := addData(t, w, "data", 0x2000, 4096)
+	churn(t, w, data, 0x2000, 32)
+	w.Collect()
+	w.Collect()
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("gctrace lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	re := regexp.MustCompile(`^gc (\d+) @\d+\.\d{3}s full: \d+\.\d{2}ms pause \(mark \d+\.\d{2}ms, sweep \d+\.\d{2}ms\): \d+ live \(\d+ KiB\), \d+ freed, heap \d+ KiB, \d+ blacklisted$`)
+	for i, line := range lines {
+		m := re.FindSubmatch(line)
+		if m == nil {
+			t.Fatalf("gctrace line %d does not match: %q", i, line)
+		}
+	}
+	if !bytes.HasPrefix(lines[0], []byte("gc 1 ")) || !bytes.HasPrefix(lines[1], []byte("gc 2 ")) {
+		t.Fatalf("gctrace cycle numbers wrong:\n%s", buf.String())
+	}
+	// Detaching stops the stream.
+	w.SetGCTrace(nil)
+	n := buf.Len()
+	w.Collect()
+	if buf.Len() != n {
+		t.Fatal("gctrace kept writing after SetGCTrace(nil)")
+	}
+}
+
+// TestTraceLazySweepDrain checks deferred sweeps report their drains.
+func TestTraceLazySweepDrain(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1, LazySweep: true})
+	r := w.EnableTracing(0)
+	data := addData(t, w, "data", 0x2000, 4096)
+	churn(t, w, data, 0x2000, 64)
+	st := w.Collect()
+	if st.SweepDeferredBlocks == 0 {
+		t.Skip("workload produced no mixed blocks to defer")
+	}
+	w.FinishSweep()
+	if got := countKind(r, trace.EvSweepDrain); got != st.SweepDeferredBlocks {
+		t.Fatalf("sweep_drain events = %d, deferred blocks = %d", got, st.SweepDeferredBlocks)
+	}
+}

@@ -19,12 +19,15 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/blacklist"
 	"repro/internal/mark"
 	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // BlacklistMode selects the blacklist representation.
@@ -234,6 +237,9 @@ type CollectionStats struct {
 	// how many bounded marking steps preceded the finale.
 	Incremental bool
 	Steps       int
+	// PauseMarkNs is the part of the pause spent in the mark phase
+	// (for incremental cycles: the finale's rescan and drain only).
+	PauseMarkNs int64
 	// PauseSweepNs is the part of the pause spent in the sweep phase:
 	// the O(blocks) classification barrier under LazySweep, the full
 	// per-slot heap walk otherwise.
@@ -261,6 +267,78 @@ type World struct {
 	finalizable     map[mem.Addr]struct{}
 	reclaimed       []mem.Addr
 	hook            func(CollectionStats)
+
+	// Observability (see DESIGN.md section 5c). tracer is nil unless
+	// SetTracer/EnableTracing installed one: every emit site nil-checks,
+	// so un-traced collections pay one compare per site and allocate
+	// nothing. gctrace, when set, receives one text line per cycle.
+	// met is the always-on metrics view; epoch anchors gctrace
+	// timestamps; prevSteals turns the parallel marker's cumulative
+	// steal count into per-cycle deltas.
+	tracer     *trace.Recorder
+	gctrace    io.Writer
+	met        worldMetrics
+	epoch      time.Time
+	prevSteals uint64
+}
+
+// worldMetrics is the world's registry plus direct handles to every
+// metric it maintains, so the per-cycle recording path is plain atomic
+// adds with no map lookups (and no allocation).
+type worldMetrics struct {
+	reg *metrics.Registry
+
+	// Cycle counters, accumulated from each CollectionStats as it is
+	// produced: the registry is a running sum of the per-cycle view
+	// (asserted by TestMetricsMatchCollectionStats).
+	cycles, minorCycles, incCycles *metrics.Counter
+	allocTriggered, incSteps       *metrics.Counter
+	objectsMarked, bytesMarked     *metrics.Counter
+	objectsSwept, bytesSwept       *metrics.Counter
+	pauseNs, markPauseNs, sweepNs  *metrics.Counter
+	markSteals                     *metrics.Counter
+
+	// Level gauges, refreshed from the allocator and blacklist at each
+	// cycle barrier and on Metrics()/MetricsSnapshot().
+	heapBytes, liveBytes, liveObjects *metrics.Gauge
+	pendingSweepBlocks, lazySweptBlk  *metrics.Gauge
+	blacklistPages, blAdds, blHits    *metrics.Gauge
+	bytesAllocated, objectsAllocated  *metrics.Gauge
+	heapExpansions, desperateAllocs   *metrics.Gauge
+	markWorkers                       *metrics.Gauge
+}
+
+func newWorldMetrics() worldMetrics {
+	reg := metrics.NewRegistry()
+	return worldMetrics{
+		reg:                reg,
+		cycles:             reg.Counter("gc_cycles"),
+		minorCycles:        reg.Counter("gc_minor_cycles"),
+		incCycles:          reg.Counter("gc_incremental_cycles"),
+		allocTriggered:     reg.Counter("gc_alloc_triggered"),
+		incSteps:           reg.Counter("gc_incremental_steps"),
+		objectsMarked:      reg.Counter("objects_marked"),
+		bytesMarked:        reg.Counter("bytes_marked"),
+		objectsSwept:       reg.Counter("objects_swept"),
+		bytesSwept:         reg.Counter("bytes_swept"),
+		pauseNs:            reg.Counter("pause_ns"),
+		markPauseNs:        reg.Counter("mark_pause_ns"),
+		sweepNs:            reg.Counter("sweep_pause_ns"),
+		markSteals:         reg.Counter("mark_steals"),
+		heapBytes:          reg.Gauge("heap_bytes"),
+		liveBytes:          reg.Gauge("live_bytes"),
+		liveObjects:        reg.Gauge("live_objects"),
+		pendingSweepBlocks: reg.Gauge("pending_sweep_blocks"),
+		lazySweptBlk:       reg.Gauge("lazy_swept_blocks"),
+		blacklistPages:     reg.Gauge("blacklist_pages"),
+		blAdds:             reg.Gauge("blacklist_adds"),
+		blHits:             reg.Gauge("blacklist_hits"),
+		bytesAllocated:     reg.Gauge("bytes_allocated"),
+		objectsAllocated:   reg.Gauge("objects_allocated"),
+		heapExpansions:     reg.Gauge("heap_expansions"),
+		desperateAllocs:    reg.Gauge("desperate_allocs"),
+		markWorkers:        reg.Gauge("mark_workers"),
+	}
 }
 
 // SetCollectionHook registers fn to be invoked after every collection
@@ -269,8 +347,134 @@ type World struct {
 // for the common logging case.
 func (w *World) SetCollectionHook(fn func(CollectionStats)) { w.hook = fn }
 
-// fireHook reports the completed collection to the registered hook.
+// SetTracer attaches a structured event trace to the whole collection
+// pipeline: the world's phase spans, the marker's blacklist additions
+// and spills, the allocator's expansions and lazy sweep drains. nil
+// detaches. Set it outside an active cycle.
+func (w *World) SetTracer(r *trace.Recorder) {
+	w.tracer = r
+	w.Marker.SetTracer(r)
+	if w.par != nil {
+		w.par.SetTracer(r)
+	}
+	w.Heap.SetTracer(r)
+}
+
+// Tracer returns the attached trace recorder (nil when disabled).
+func (w *World) Tracer() *trace.Recorder { return w.tracer }
+
+// EnableTracing attaches a fresh recorder holding the last capacity
+// events (trace.DefaultCapacity if capacity <= 0) and returns it.
+func (w *World) EnableTracing(capacity int) *trace.Recorder {
+	r := trace.New(capacity)
+	w.SetTracer(r)
+	return r
+}
+
+// SetGCTrace directs a one-line-per-cycle text trace to out (nil
+// disables), in the spirit of the Go runtime's GODEBUG=gctrace=1:
+//
+//	gc 3 @0.412s full: 1.84ms pause (mark 1.72ms, sweep 0.06ms): 5000 live (40 KiB), 120 freed, heap 1024 KiB, 14 blacklisted
+func (w *World) SetGCTrace(out io.Writer) { w.gctrace = out }
+
+// Metrics returns the world's counter/gauge registry, with the level
+// gauges freshly synchronised. The counters are running sums of every
+// cycle's CollectionStats; the gauges mirror the allocator's and
+// blacklist's current state.
+func (w *World) Metrics() *metrics.Registry {
+	w.syncGauges()
+	return w.met.reg
+}
+
+// MetricsSnapshot synchronises the gauges and returns every metric's
+// current value in registration order.
+func (w *World) MetricsSnapshot() []metrics.Sample {
+	w.syncGauges()
+	return w.met.reg.Snapshot()
+}
+
+// syncGauges refreshes the level gauges from their owning subsystems.
+func (w *World) syncGauges() {
+	st := w.Heap.Stats()
+	bl := w.Blacklist.Stats()
+	m := &w.met
+	m.heapBytes.Set(int64(st.HeapBytes))
+	m.liveBytes.Set(int64(st.BytesLive))
+	m.liveObjects.Set(int64(st.ObjectsLive))
+	m.pendingSweepBlocks.Set(int64(w.Heap.SweepPending()))
+	m.lazySweptBlk.Set(int64(st.LazySweptBlocks))
+	m.blacklistPages.Set(int64(w.Blacklist.Len()))
+	m.blAdds.Set(int64(bl.Adds))
+	m.blHits.Set(int64(bl.Hits))
+	m.bytesAllocated.Set(int64(st.BytesAllocated))
+	m.objectsAllocated.Set(int64(st.ObjectsAllocated))
+	m.heapExpansions.Set(int64(st.Expansions))
+	m.desperateAllocs.Set(int64(st.DesperateAllocs))
+	m.markWorkers.Set(int64(w.cfg.MarkWorkers))
+}
+
+// recordCycle folds one completed collection into the counters. Plain
+// atomic adds on pre-registered metrics: no allocation, so an un-traced
+// collection stays allocation-free.
+func (w *World) recordCycle(st CollectionStats) {
+	m := &w.met
+	switch {
+	case st.Minor:
+		m.minorCycles.Inc()
+	case st.Incremental:
+		m.incCycles.Inc()
+		m.incSteps.Add(uint64(st.Steps))
+	default:
+		m.cycles.Inc()
+	}
+	m.objectsMarked.Add(st.Mark.ObjectsMarked)
+	m.bytesMarked.Add(st.Mark.BytesMarked)
+	m.objectsSwept.Add(st.Sweep.ObjectsFreed)
+	m.bytesSwept.Add(st.Sweep.BytesFreed)
+	m.pauseNs.Add(uint64(st.Duration.Nanoseconds()))
+	m.markPauseNs.Add(uint64(st.PauseMarkNs))
+	m.sweepNs.Add(uint64(st.PauseSweepNs))
+	if w.par != nil {
+		s := w.par.Steals()
+		m.markSteals.Add(s - w.prevSteals)
+		w.prevSteals = s
+	}
+}
+
+// writeGCTrace renders the one-line cycle summary to w.gctrace.
+func (w *World) writeGCTrace(st CollectionStats) {
+	kind := "full"
+	switch {
+	case st.Minor:
+		kind = "minor"
+	case st.Incremental:
+		kind = fmt.Sprintf("incremental(%d steps)", st.Steps)
+	}
+	fmt.Fprintf(w.gctrace,
+		"gc %d @%.3fs %s: %.2fms pause (mark %.2fms, sweep %.2fms): %d live (%d KiB), %d freed, heap %d KiB, %d blacklisted",
+		w.collections, time.Since(w.epoch).Seconds(), kind,
+		float64(st.Duration.Nanoseconds())/1e6,
+		float64(st.PauseMarkNs)/1e6, float64(st.PauseSweepNs)/1e6,
+		st.Sweep.ObjectsLive, st.Sweep.BytesLive/1024,
+		st.Sweep.ObjectsFreed, st.HeapBytes/1024, w.Blacklist.Len())
+	if st.Minor {
+		fmt.Fprintf(w.gctrace, ", %d dirty blocks, %d promoted", st.DirtyBlocks, st.Promoted)
+	}
+	if st.SweepDeferredBlocks > 0 {
+		fmt.Fprintf(w.gctrace, ", %d deferred", st.SweepDeferredBlocks)
+	}
+	fmt.Fprintln(w.gctrace)
+}
+
+// fireHook finalises the completed collection: fold it into the
+// metrics, render the gctrace line, and report it to the registered
+// hook.
 func (w *World) fireHook() {
+	w.recordCycle(w.last)
+	w.syncGauges()
+	if w.gctrace != nil {
+		w.writeGCTrace(w.last)
+	}
 	if w.hook != nil {
 		w.hook(w.last)
 	}
@@ -329,6 +533,8 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 		Blacklist:   bl,
 		cfg:         c,
 		finalizable: map[mem.Addr]struct{}{},
+		met:         newWorldMetrics(),
+		epoch:       time.Now(),
 	}
 	if c.MarkWorkers > 1 {
 		w.par = mark.NewParallel(heap, mcfg, c.MarkWorkers)
@@ -397,6 +603,7 @@ func (w *World) allocate(nwords int, try, desperate func() (mem.Addr, error)) (m
 		st := w.Heap.Stats()
 		if !w.incActive && w.cfg.GCDivisor > 0 &&
 			st.BytesSinceGC > uint64(st.HeapBytes/w.cfg.GCDivisor) {
+			w.allocTrigger(2)
 			w.StartIncrementalCycle()
 		}
 		if w.incActive && w.IncrementalStep(w.cfg.MarkQuantum) {
@@ -406,13 +613,16 @@ func (w *World) allocate(nwords int, try, desperate func() (mem.Addr, error)) (m
 	} else if w.cfg.Generational && w.cfg.MinorDivisor > 0 &&
 		w.Heap.Stats().BytesSinceGC > uint64(w.Heap.Stats().HeapBytes/w.cfg.MinorDivisor) {
 		if w.minorsSinceFull >= w.cfg.FullEvery-1 {
+			w.allocTrigger(0)
 			w.Collect()
 			w.expandIfTight()
 		} else {
+			w.allocTrigger(1)
 			w.CollectMinor()
 		}
 	} else if w.cfg.GCDivisor > 0 &&
 		w.Heap.Stats().BytesSinceGC > uint64(w.Heap.Stats().HeapBytes/w.cfg.GCDivisor) {
+		w.allocTrigger(0)
 		w.Collect()
 		w.expandIfTight()
 	}
@@ -459,6 +669,17 @@ func (w *World) allocate(nwords int, try, desperate func() (mem.Addr, error)) (m
 		}
 	}
 	return p, nil
+}
+
+// allocTrigger records an allocation crossing the collection
+// threshold, immediately before the cycle it triggers; kind is the
+// cycle-kind argument (0 full, 1 minor, 2 incremental start).
+func (w *World) allocTrigger(kind int64) {
+	w.met.allocTriggered.Inc()
+	if w.tracer.Enabled() {
+		st := w.Heap.Stats()
+		w.tracer.Emit(trace.EvAllocTrigger, int64(st.BytesSinceGC), int64(st.HeapBytes), kind)
+	}
 }
 
 // expandIfTight grows the heap when a collection left too little free
@@ -534,6 +755,7 @@ func (w *World) Collect() CollectionStats {
 		return w.FinishIncrementalCycle()
 	}
 	start := time.Now()
+	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 0)
 	// Any sweep work the previous lazy cycle deferred must complete
 	// before mark bits change: a pending block's bits still encode that
 	// cycle's liveness. No-op with LazySweep off.
@@ -544,7 +766,11 @@ func (w *World) Collect() CollectionStats {
 		// starts from a clean slate.
 		w.Heap.ClearMarks()
 	}
+	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.cfg.MarkWorkers), 0)
+	markStart := time.Now()
 	mstats, _ := w.markPhase(false)
+	pauseMark := time.Since(markStart)
+	w.traceMarkEnd(mstats)
 	// Finalisation, as used by the paper's PCR experiment: "selected
 	// otherwise unreachable heap cells to be enqueued for further
 	// action". Unmarked registered objects are queued before the sweep
@@ -555,6 +781,7 @@ func (w *World) Collect() CollectionStats {
 			delete(w.finalizable, a)
 		}
 	}
+	w.traceSweepBegin(0)
 	sweepStart := time.Now()
 	var sweep alloc.SweepResult
 	if w.cfg.Generational {
@@ -579,11 +806,51 @@ func (w *World) Collect() CollectionStats {
 		Blacklist:           w.Blacklist.Stats(),
 		Duration:            time.Since(start),
 		HeapBytes:           w.Heap.Stats().HeapBytes,
+		PauseMarkNs:         pauseMark.Nanoseconds(),
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
 		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
+	w.traceCycleEnd(w.last)
 	w.fireHook()
 	return w.last
+}
+
+// traceMarkEnd emits the mark-phase closing events: the phase totals
+// plus, under parallel marking, each worker's share.
+func (w *World) traceMarkEnd(mstats mark.Stats) {
+	if !w.tracer.Enabled() {
+		return
+	}
+	w.tracer.Emit(trace.EvMarkEnd,
+		int64(mstats.ObjectsMarked), int64(mstats.BytesMarked), int64(mstats.WordsScanned))
+	if w.par != nil {
+		w.par.EachWorkerStats(func(i int, s mark.Stats) {
+			w.tracer.Emit(trace.EvWorkerMark, int64(i), int64(s.ObjectsMarked), int64(s.BytesMarked))
+		})
+	}
+}
+
+// traceSweepBegin emits the sweep-phase opening event.
+func (w *World) traceSweepBegin(kind int64) {
+	if !w.tracer.Enabled() {
+		return
+	}
+	lazy := int64(0)
+	if w.cfg.LazySweep {
+		lazy = 1
+	}
+	w.tracer.Emit(trace.EvSweepBegin, int64(w.collections+1), lazy, kind)
+}
+
+// traceCycleEnd emits the sweep-phase and cycle closing events.
+func (w *World) traceCycleEnd(st CollectionStats) {
+	if !w.tracer.Enabled() {
+		return
+	}
+	w.tracer.Emit(trace.EvSweepEnd,
+		int64(st.Sweep.ObjectsFreed), int64(st.Sweep.BytesFreed), int64(st.SweepDeferredBlocks))
+	w.tracer.Emit(trace.EvCycleEnd,
+		int64(w.collections), int64(st.Sweep.ObjectsLive), int64(st.Sweep.BytesLive))
 }
 
 // CollectMinor runs a generational minor collection: old (marked)
@@ -597,17 +864,23 @@ func (w *World) CollectMinor() CollectionStats {
 		return w.Collect()
 	}
 	start := time.Now()
+	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 1)
 	// See Collect: the previous cycle's deferred sweeps must land before
 	// this cycle's marks.
 	w.Heap.FinishSweep()
 	w.Blacklist.BeginCycle()
+	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.cfg.MarkWorkers), 1)
+	markStart := time.Now()
 	mstats, dirty := w.markPhase(true)
+	pauseMark := time.Since(markStart)
+	w.traceMarkEnd(mstats)
 	for a := range w.finalizable {
 		if !w.Heap.Marked(a) {
 			w.reclaimed = append(w.reclaimed, a)
 			delete(w.finalizable, a)
 		}
 	}
+	w.traceSweepBegin(1)
 	sweepStart := time.Now()
 	sweep := w.Heap.SweepSticky()
 	pauseSweep := time.Since(sweepStart)
@@ -627,9 +900,11 @@ func (w *World) CollectMinor() CollectionStats {
 		Minor:               true,
 		DirtyBlocks:         dirty,
 		Promoted:            mstats.ObjectsMarked,
+		PauseMarkNs:         pauseMark.Nanoseconds(),
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
 		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
+	w.traceCycleEnd(w.last)
 	w.fireHook()
 	return w.last
 }
@@ -645,7 +920,9 @@ func (w *World) MarkOnly() (objects, bytes uint64) {
 		w.FinishIncrementalCycle()
 	}
 	w.Heap.FinishSweep() // pending bits are the previous cycle's, not this one's
-	w.markPhase(false)
+	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.cfg.MarkWorkers), 0)
+	mstats, _ := w.markPhase(false)
+	w.traceMarkEnd(mstats)
 	objects, bytes = w.Heap.CountMarked()
 	w.Heap.ClearMarks()
 	return objects, bytes

@@ -30,6 +30,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/blacklist"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // PointerPolicy selects which candidate values are treated as valid
@@ -111,6 +112,9 @@ type Marker struct {
 	// to spillThreshold or beyond; parallel workers use it to shed work
 	// onto the shared queue. nil for the serial marker.
 	overflow func(*Marker)
+	// tracer receives blacklist-addition events; nil (the default)
+	// disables them at the cost of one compare per false reference.
+	tracer *trace.Recorder
 }
 
 // spillThreshold is the local mark-stack depth beyond which a parallel
@@ -128,6 +132,11 @@ func New(heap *alloc.Allocator, cfg Config) *Marker {
 
 // Config returns the marker's configuration.
 func (m *Marker) Config() Config { return m.cfg }
+
+// SetTracer attaches r to receive EvBlacklistPage events (nil
+// detaches). Parallel workers may share one recorder: Emit is
+// concurrency-safe.
+func (m *Marker) SetTracer(r *trace.Recorder) { m.tracer = r }
 
 // Reset clears per-cycle statistics. Mark bits are owned by the
 // allocator and cleared by its sweep.
@@ -157,6 +166,7 @@ func (m *Marker) MarkValue(v mem.Word) {
 		if m.heap.InVicinity(p) {
 			m.stats.FalseNearHeap++
 			m.bl.Add(p)
+			m.tracer.Emit(trace.EvBlacklistPage, int64(p), 0, 0)
 		}
 		return
 	}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/blacklist"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 const (
@@ -139,10 +140,19 @@ func (b *addrBuffer) BeginCycle()                        { b.shared.BeginCycle()
 func (b *addrBuffer) Expire(maxAge uint32) int           { return b.shared.Expire(maxAge) }
 func (b *addrBuffer) Stats() blacklist.Stats             { return b.shared.Stats() }
 
-// worker couples a Marker shard with its blacklist buffer.
+// worker couples a Marker shard with its blacklist buffer. The back
+// pointer lets Run spawn `go w.run()` — a closure-free go statement —
+// so a cycle's only per-worker allocation is the spawn itself.
 type worker struct {
 	m       *Marker
 	pending *addrBuffer
+	p       *Parallel
+}
+
+// run is one worker goroutine's cycle entry point.
+func (w *worker) run() {
+	defer w.p.wg.Done()
+	w.p.runWorker(w)
 }
 
 // Parallel is a reusable parallel mark phase over one heap. Build it
@@ -156,6 +166,12 @@ type Parallel struct {
 	queue   taskQueue
 	idle    atomic.Int32
 	staged  []task // tasks accumulated between cycles, moved to queue by Run
+	// steals counts tasks fetched from the shared queue, cumulatively
+	// across cycles: root chunks claimed, gray chunks stolen, dirty
+	// blocks taken. It is the registry's mark-steal metric.
+	steals atomic.Uint64
+	tracer *trace.Recorder
+	wg     sync.WaitGroup // reused across cycles so Run does not allocate it
 }
 
 // NewParallel creates a parallel marker with the given worker count
@@ -176,13 +192,36 @@ func NewParallel(heap *alloc.Allocator, cfg Config, workers int) *Parallel {
 		m := New(heap, wcfg)
 		m.atomicMark = true
 		m.overflow = p.spill
-		p.workers = append(p.workers, &worker{m: m, pending: buf})
+		p.workers = append(p.workers, &worker{m: m, pending: buf, p: p})
 	}
 	return p
 }
 
 // Workers returns the worker count.
 func (p *Parallel) Workers() int { return len(p.workers) }
+
+// Steals returns the cumulative number of tasks workers fetched from
+// the shared queue (root chunks, stolen gray chunks, dirty blocks).
+func (p *Parallel) Steals() uint64 { return p.steals.Load() }
+
+// SetTracer attaches r to the phase and every worker's marker (nil
+// detaches): workers emit blacklist additions and spill events, the
+// phase itself nothing — core emits the span events around Run.
+func (p *Parallel) SetTracer(r *trace.Recorder) {
+	p.tracer = r
+	for _, w := range p.workers {
+		w.m.SetTracer(r)
+	}
+}
+
+// EachWorkerStats calls fn with every worker's statistics from the
+// last Run, in worker order. A callback rather than a slice so the
+// trace path stays allocation-free.
+func (p *Parallel) EachWorkerStats(fn func(i int, s Stats)) {
+	for i, w := range p.workers {
+		fn(i, w.m.Stats())
+	}
+}
 
 // AddRoots stages a root area for the next Run, chunked for dynamic
 // balancing. Under the unaligned regime each chunk carries one word of
@@ -223,6 +262,7 @@ func (p *Parallel) AddDirtyBlock(bi int) {
 // local.
 func (p *Parallel) spill(m *Marker) {
 	half := len(m.stack) / 2
+	p.tracer.Emit(trace.EvMarkSpill, int64(half), 0, 0)
 	for lo := 0; lo < half; lo += grayChunk {
 		hi := lo + grayChunk
 		if hi > half {
@@ -245,16 +285,12 @@ func (p *Parallel) Run() Stats {
 	p.queue.size.Store(int32(len(p.queue.tasks)))
 	p.staged = p.staged[:0]
 	p.idle.Store(0)
-	var wg sync.WaitGroup
+	p.wg.Add(len(p.workers))
 	for _, w := range p.workers {
 		w.m.Reset()
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			p.runWorker(w)
-		}(w)
+		go w.run()
 	}
-	wg.Wait()
+	p.wg.Wait()
 	var agg Stats
 	for _, w := range p.workers {
 		w.pending.flush()
@@ -283,6 +319,7 @@ func (p *Parallel) runWorker(w *worker) {
 			}
 			continue
 		}
+		p.steals.Add(1)
 		p.process(w, t)
 	}
 }

@@ -278,6 +278,10 @@ func (s *Segment) Fill(w Word) {
 // An AddressSpace is an ordered collection of non-overlapping segments.
 type AddressSpace struct {
 	segs []*Segment // sorted by base address
+	// rootScratch is Roots' reusable result buffer: root scans happen
+	// once or more per collection, and rebuilding into a retained
+	// backing array keeps the steady-state collection allocation-free.
+	rootScratch []*Segment
 }
 
 // NewAddressSpace returns an empty address space.
@@ -350,15 +354,17 @@ func (as *AddressSpace) Segment(name string) *Segment {
 func (as *AddressSpace) Segments() []*Segment { return as.segs }
 
 // Roots returns the segments flagged as conservative root areas, in
-// address order.
+// address order. The returned slice is a scratch buffer invalidated by
+// the next Roots call; callers must iterate it immediately rather than
+// retain it.
 func (as *AddressSpace) Roots() []*Segment {
-	var roots []*Segment
+	as.rootScratch = as.rootScratch[:0]
 	for _, s := range as.segs {
 		if s.root {
-			roots = append(roots, s)
+			as.rootScratch = append(as.rootScratch, s)
 		}
 	}
-	return roots
+	return as.rootScratch
 }
 
 // Load reads the word at a from whichever segment contains it.

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("objects_swept")
+	c.Inc()
+	c.Add(9)
+	if c.Load() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Load())
+	}
+	g := r.Gauge("heap_bytes")
+	g.Set(1 << 20)
+	g.Add(-512)
+	if g.Load() != (1<<20)-512 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+}
+
+func TestGetOrCreateSharesByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("steals")
+	b := r.Counter("steals")
+	if a != b {
+		t.Fatal("same name produced distinct counters")
+	}
+	a.Add(3)
+	if b.Load() != 3 {
+		t.Fatal("shared counter not shared")
+	}
+}
+
+func TestKindClashDetaches(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(7)
+	g := r.Gauge("x") // wrong kind: detached, must not corrupt the counter
+	g.Set(99)
+	if v, ok := r.Value("x"); !ok || v != 7 {
+		t.Fatalf("Value(x) = %d,%v; want 7,true", v, ok)
+	}
+}
+
+func TestSnapshotOrderAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gc_cycles").Add(4)
+	r.Gauge("pending_sweep_blocks").Set(12)
+	r.Counter("blacklist_adds").Add(2)
+	snap := r.Snapshot()
+	want := []Sample{
+		{Name: "gc_cycles", Kind: "counter", Value: 4},
+		{Name: "pending_sweep_blocks", Kind: "gauge", Value: 12},
+		{Name: "blacklist_adds", Kind: "counter", Value: 2},
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, snap[i], want[i])
+		}
+	}
+}
+
+func TestValueMissing(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Value("absent"); ok {
+		t.Fatal("absent metric reported present")
+	}
+}
+
+func TestNilReceiversNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	c.Inc()
+	g := r.Gauge("b")
+	g.Set(1)
+	if c.Load() != 0 || g.Load() != 0 {
+		t.Fatal("nil-registry metrics retained values")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	if _, ok := r.Value("a"); ok {
+		t.Fatal("nil registry Value reported present")
+	}
+	var nc *Counter
+	nc.Add(1) // must not panic
+	var ng *Gauge
+	ng.Add(1)
+	if nc.Load() != 0 || ng.Load() != 0 {
+		t.Fatal("nil metrics retained values")
+	}
+}
+
+func TestUpdatesZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	g := r.Gauge("level")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric updates allocate %.1f per run, want 0", allocs)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gc_cycles").Add(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap []Sample
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(snap) != 1 || snap[0] != (Sample{Name: "gc_cycles", Kind: "counter", Value: 2}) {
+		t.Fatalf("export = %+v", snap)
+	}
+}

@@ -15,6 +15,9 @@ type MarkBenchOptions struct {
 	Lists   int   // rooted lists (default 64)
 	Nodes   int   // nodes per list (default 4000)
 	Iters   int   // mark phases per measurement (default 10)
+	// Trace, when non-nil, records collector events from every measured
+	// world into the given ring buffer (cmd/gcbench -trace).
+	Trace *TraceRecorder
 }
 
 // MarkBenchRow is one worker count's measurement.
@@ -81,6 +84,7 @@ func MarkBench(opts MarkBenchOptions) (*MarkBenchResult, *stats.Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		w.SetTracer(opts.Trace)
 		data, err := w.Space.MapNew("data", KindData, 0x2000, 4096, 4096)
 		if err != nil {
 			return nil, nil, err

@@ -35,7 +35,9 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mark"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -206,6 +208,27 @@ var (
 	MakeList       = workload.MakeList
 	MakeListRooted = workload.MakeListRooted
 )
+
+// Observability types (see DESIGN.md section 5c). A TraceRecorder is
+// attached with World.SetTracer or World.EnableTracing; a nil recorder
+// is a valid, allocation-free no-op, so tracing costs nothing when off.
+type (
+	// TraceRecorder is a fixed-capacity ring buffer of collector events.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded collector event.
+	TraceEvent = trace.Event
+	// TraceKind identifies the type of a trace event.
+	TraceKind = trace.Kind
+	// MetricsRegistry is the world's counter/gauge registry, returned by
+	// World.Metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricSample is one metric's name, kind and value in a snapshot.
+	MetricSample = metrics.Sample
+)
+
+// NewTraceRecorder creates a trace ring buffer holding up to capacity
+// events (<= 0 selects the default capacity).
+var NewTraceRecorder = trace.New
 
 // HeapMap renders the world's heap as one character per block (see
 // cmd/heapdump for the legend), width blocks per line.

@@ -17,6 +17,9 @@ type SweepBenchOptions struct {
 	Cycles int    // churn/collect cycles per mode (default 20)
 	Churn  int    // lists replaced per cycle (default 12)
 	Seed   uint64 // churn schedule seed (default 1)
+	// Trace, when non-nil, records collector events from every measured
+	// world into the given ring buffer (cmd/gcbench -trace).
+	Trace *TraceRecorder
 }
 
 // SweepBenchRow is one sweep strategy's aggregate over the churn run.
@@ -63,6 +66,7 @@ func sweepBenchRun(mode string, lazy bool, opts SweepBenchOptions) (SweepBenchRo
 	if err != nil {
 		return row, err
 	}
+	w.SetTracer(opts.Trace)
 	data, err := w.Space.MapNew("data", KindData, 0x2000, 4096, 4096)
 	if err != nil {
 		return row, err
