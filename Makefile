@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench benchgate fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench mutbench soak benchgate fuzz-smoke
 
 ci: fmt vet build test race
 
@@ -47,6 +47,20 @@ markbench:
 sweepbench:
 	$(GO) run ./cmd/gcbench -experiment sweepbench -benchjson BENCH_2.json
 
+# Regenerates BENCH_3.json (concurrent-mutator allocation throughput).
+# Mutator counts above GOMAXPROCS are measured but flagged
+# "oversubscribed": their timing is scheduler contention, so only the
+# deterministic object counts are gated for those rows.
+mutbench:
+	$(GO) run ./cmd/gcbench -experiment mutbench -mutators 1,2,4,8 -benchjson BENCH_3.json
+
+# Multi-mutator soak: many allocation/collection rounds against one
+# generational + lazy-sweep world, with a full allocator integrity
+# audit after every round. Not part of `make ci`; run it when touching
+# the safepoint protocol or the allocation caches.
+soak:
+	$(GO) run ./cmd/gcbench -experiment soak -mutators 8 -soak-cycles 20
+
 # Benchmark regression gate: rerun each benchmark in-process and diff
 # it against the checked-in baseline. Deterministic invariants (objects
 # marked, objects/bytes freed, deferred blocks) must match exactly;
@@ -57,6 +71,7 @@ BENCHGATE_TOLERANCE ?= 2
 benchgate:
 	$(GO) run ./cmd/benchgate -baseline BENCH_1.json -tolerance $(BENCHGATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_2.json -tolerance $(BENCHGATE_TOLERANCE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_3.json -tolerance $(BENCHGATE_TOLERANCE)
 
 # Short fuzzing pass over every fuzz target. Each -fuzz pattern must
 # match exactly one target per package, hence one invocation apiece.
@@ -66,3 +81,4 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz '^FuzzConcurrentMark$$' -fuzztime $(FUZZTIME) ./internal/alloc
 	$(GO) test -run XXX -fuzz '^FuzzMarkValue$$' -fuzztime $(FUZZTIME) ./internal/mark
 	$(GO) test -run XXX -fuzz '^FuzzMarkWords$$' -fuzztime $(FUZZTIME) ./internal/mark
+	$(GO) test -run XXX -fuzz '^FuzzConcurrentAlloc$$' -fuzztime $(FUZZTIME) ./internal/core

@@ -13,7 +13,8 @@
 //
 // The baseline schema is detected from its rows: rows keyed by
 // "workers" are a markbench result, rows keyed by "mode" are a
-// sweepbench result. A machine-readable JSON report goes to stdout.
+// sweepbench result, rows keyed by "mutators" are a mutbench result.
+// A machine-readable JSON report goes to stdout.
 // Exit status: 0 pass, 1 regression, 2 usage or I/O error.
 //
 // Timing checks are gated as candidate <= baseline * tolerance, so the
@@ -156,6 +157,37 @@ func CompareSweep(base, cand *repro.SweepBenchResult, tol float64) *Report {
 	return rep.finish()
 }
 
+// CompareMut gates a candidate mutbench result against a baseline.
+// Rows are matched by mutator count. The per-row object count is
+// deterministic (mutators x allocs) and must match exactly; timing is
+// gated only when neither side is oversubscribed. Collection and
+// safepoint counts depend on goroutine interleaving, so they are
+// reported in the JSON but never gated.
+func CompareMut(base, cand *repro.MutBenchResult, tol float64) *Report {
+	rep := &Report{Schema: "mutbench", Tolerance: tol}
+	byMutators := make(map[int]repro.MutBenchRow)
+	for _, row := range cand.Rows {
+		byMutators[row.Mutators] = row
+	}
+	for _, b := range base.Rows {
+		c, ok := byMutators[b.Mutators]
+		name := fmt.Sprintf("mutators=%d", b.Mutators)
+		if !ok {
+			rep.Checks = append(rep.Checks, Check{
+				Name: name + "/present", Kind: "invariant",
+				Baseline: 1, Candidate: 0, Limit: 1, Pass: false,
+			})
+			continue
+		}
+		rep.invariantCheck(name+"/objects_allocated",
+			float64(b.ObjectsAllocated), float64(c.ObjectsAllocated))
+		if !b.Oversubscribed && !c.Oversubscribed {
+			rep.timeCheck(name+"/ns_per_alloc", b.NsPerAlloc, c.NsPerAlloc)
+		}
+	}
+	return rep.finish()
+}
+
 // detectSchema classifies a benchmark JSON by its first row's keys.
 func detectSchema(data []byte) (string, error) {
 	var probe struct {
@@ -173,7 +205,10 @@ func detectSchema(data []byte) (string, error) {
 	if _, ok := probe.Rows[0]["workers"]; ok {
 		return "markbench", nil
 	}
-	return "", fmt.Errorf("rows have neither \"mode\" nor \"workers\" keys")
+	if _, ok := probe.Rows[0]["mutators"]; ok {
+		return "mutbench", nil
+	}
+	return "", fmt.Errorf("rows have no \"mode\", \"workers\" or \"mutators\" keys")
 }
 
 // Gate loads the baseline, obtains a candidate (from candidatePath or a
@@ -264,6 +299,30 @@ func Gate(baselinePath, candidatePath string, tol float64) (*Report, error) {
 			cand = *res
 		}
 		return CompareSweep(&base, &cand, tol), nil
+	case "mutbench":
+		var base repro.MutBenchResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, err
+		}
+		var cand repro.MutBenchResult
+		if candData != nil {
+			if err := json.Unmarshal(candData, &cand); err != nil {
+				return nil, err
+			}
+		} else {
+			var counts []int
+			for _, r := range base.Rows {
+				counts = append(counts, r.Mutators)
+			}
+			res, _, err := repro.MutBench(repro.MutBenchOptions{
+				Mutators: counts, Allocs: base.Allocs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cand = *res
+		}
+		return CompareMut(&base, &cand, tol), nil
 	}
 	return nil, fmt.Errorf("unreachable schema %q", schema)
 }

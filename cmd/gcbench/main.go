@@ -28,6 +28,8 @@
 //	obs5        E17: residual references die under continued execution
 //	markbench   parallel mark-phase scaling by worker count
 //	sweepbench  collection pauses, eager vs lazy sweeping (plus markbench)
+//	mutbench    concurrent-mutator allocation throughput by mutator count
+//	soak        long multi-mutator churn with per-cycle integrity audits
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -44,13 +47,15 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|all)")
+	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|mutbench|soak|all)")
 	seeds      = flag.Int("seeds", 3, "seeds per table-1 and pcrsweep cell")
 	parallel   = flag.Int("parallel", 8, "concurrent runs for table-1 style sweeps")
 	seed       = flag.Uint64("seed", 1, "base seed for single-run experiments")
 	format     = flag.String("format", "text", "table output format: text|markdown")
 	benchJSON  = flag.String("benchjson", "", "write markbench/sweepbench results as JSON to this file")
 	workers    = flag.String("workers", "", "comma-separated markbench worker counts (default: powers of two up to GOMAXPROCS)")
+	mutators   = flag.String("mutators", "", "comma-separated mutbench mutator counts, or the soak mutator count (default: powers of two up to GOMAXPROCS; soak: 8)")
+	soakCycles = flag.Int("soak-cycles", 20, "soak rounds (each ends in a collection and an integrity audit)")
 	traceOut   = flag.String("trace", "", "write a JSON event trace of markbench/sweepbench collections to this file")
 )
 
@@ -116,12 +121,14 @@ func main() {
 		"dualrun":    runDualRun,
 		"markbench":  runMarkBench,
 		"sweepbench": runSweepBench,
+		"mutbench":   runMutBench,
+		"soak":       runSoak,
 	}
 	order := []string{
 		"table1", "figure1", "stackclear", "grids", "structures",
 		"overhead", "largeobj", "pcrsweep", "frag", "dualrun", "genceiling",
 		"placement", "atomic", "typed", "pauses", "obs5", "markbench",
-		"sweepbench",
+		"sweepbench", "mutbench",
 	}
 	var todo []string
 	if *experiment == "all" {
@@ -321,21 +328,27 @@ func runPauses() error {
 	return nil
 }
 
-// parseWorkers turns the -workers flag into a worker-count list.
-func parseWorkers() ([]int, error) {
-	if *workers == "" {
+// parseCounts turns a comma-separated count flag into a list.
+func parseCounts(flagName, val string) ([]int, error) {
+	if val == "" {
 		return nil, nil
 	}
 	var out []int
-	for _, part := range strings.Split(*workers, ",") {
+	for _, part := range strings.Split(val, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("gcbench: bad -workers entry %q", part)
+			return nil, fmt.Errorf("gcbench: bad %s entry %q", flagName, part)
 		}
 		out = append(out, n)
 	}
 	return out, nil
 }
+
+// parseWorkers turns the -workers flag into a worker-count list.
+func parseWorkers() ([]int, error) { return parseCounts("-workers", *workers) }
+
+// parseMutators turns the -mutators flag into a mutator-count list.
+func parseMutators() ([]int, error) { return parseCounts("-mutators", *mutators) }
 
 func runMarkBench() error {
 	counts, err := parseWorkers()
@@ -390,6 +403,150 @@ func runSweepBench() error {
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 	}
+	return writeTrace()
+}
+
+func runMutBench() error {
+	counts, err := parseMutators()
+	if err != nil {
+		return err
+	}
+	res, tab, err := repro.MutBench(repro.MutBenchOptions{Mutators: counts, Trace: getBenchTracer()})
+	if err != nil {
+		return err
+	}
+	printTable(tab)
+	fmt.Println("Concurrent mutators are not in the paper's measurements, but its collector")
+	fmt.Println("serves multi-threaded PCR programs; this measures the per-mutator allocation")
+	fmt.Println("caches and the stop-the-world safepoint protocol under allocation churn.")
+	fmt.Println("The object count per row is deterministic and gated by cmd/benchgate;")
+	fmt.Println("collection counts depend on goroutine interleaving and are informational.")
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	return writeTrace()
+}
+
+// runSoak churns -mutators goroutines against one generational +
+// lazy-sweep world for -soak-cycles rounds. Every round ends in a
+// collection (minor, periodically full) and a full integrity audit, so
+// a slot double-carved or leaked through the safepoint flush fails the
+// run even if it would take many cycles to corrupt anything visible.
+func runSoak() error {
+	counts, err := parseMutators()
+	if err != nil {
+		return err
+	}
+	nMut := 8
+	if len(counts) > 0 {
+		nMut = counts[0]
+	}
+	w, err := repro.NewWorld(repro.Config{
+		InitialHeapBytes: 8 << 20, ReserveHeapBytes: 64 << 20,
+		Generational: true, MinorDivisor: 8, FullEvery: 4, LazySweep: true,
+	})
+	if err != nil {
+		return err
+	}
+	w.SetTracer(getBenchTracer())
+	const slots = 16
+	data, err := w.Space.MapNew("roots", repro.KindData, 0x2000, nMut*slots*4, nMut*slots*4)
+	if err != nil {
+		return err
+	}
+	muts := make([]*repro.Mutator, nMut)
+	for g := range muts {
+		muts[g] = w.NewMutator()
+	}
+	const allocsPerRound = 4000
+	sizes := []int{2, 3, 5, 8, 16, 32}
+	fmt.Printf("Soaking %d mutators x %d rounds x %d allocs (generational + lazy sweep)...\n",
+		nMut, *soakCycles, allocsPerRound)
+	tab := stats.NewTable(
+		fmt.Sprintf("Soak: %d mutators, %d allocs/round", nMut, allocsPerRound),
+		"round", "kind", "live objs", "heap KB", "flushed slots", "stop us")
+	var lastFlushed uint64
+	for round := 0; round < *soakCycles; round++ {
+		var wg sync.WaitGroup
+		errs := make([]error, nMut)
+		for g := 0; g < nMut; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				m := muts[g]
+				base := repro.Addr(0x2000 + g*slots*4)
+				for i := 0; i < allocsPerRound; i++ {
+					size := sizes[(i+round)%len(sizes)]
+					if i%8 == 0 {
+						slot := repro.Addr(4 * ((i >> 3) % slots))
+						p, err := m.AllocateRooted(data, base+slot, size, false)
+						if err != nil {
+							errs[g] = err
+							return
+						}
+						// Occasionally free the object we just rooted: the
+						// root still holds it, so it is provably ours.
+						if i%64 == 0 {
+							if err := m.Free(p); err != nil {
+								errs[g] = err
+								return
+							}
+							if err := m.Store(base+slot, 0); err != nil {
+								errs[g] = err
+								return
+							}
+						}
+					} else if _, err := m.Allocate(size, i%16 == 1); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g, err := range errs {
+			if err != nil {
+				return fmt.Errorf("soak round %d, mutator %d: %w", round, g, err)
+			}
+		}
+		var st repro.CollectionStats
+		kind := "minor"
+		if (round+1)%4 == 0 {
+			st = w.Collect()
+			kind = "full"
+		} else {
+			st = w.CollectMinor()
+		}
+		if err := w.VerifyIntegrity(); err != nil {
+			return fmt.Errorf("soak round %d: %w", round, err)
+		}
+		var flushed uint64
+		for _, m := range muts {
+			flushed += m.Stats().FlushedSlots
+		}
+		tab.AddF(round+1, kind,
+			st.Sweep.ObjectsLive,
+			st.HeapBytes/1024,
+			flushed-lastFlushed,
+			fmt.Sprintf("%.1f", float64(st.PauseStopNs)/1e3))
+		lastFlushed = flushed
+	}
+	// Conservation over the whole soak: every allocation every round is
+	// visible centrally once the final safepoint published them.
+	want := uint64(nMut * *soakCycles * allocsPerRound)
+	if got := w.Heap.Stats().ObjectsAllocated; got != want {
+		return fmt.Errorf("soak: central ObjectsAllocated = %d, mutators performed %d", got, want)
+	}
+	printTable(tab)
+	fmt.Println("Every round survived a safepoint flush, a sticky-mark collection and a")
+	fmt.Println("full allocator integrity audit (conservation: live + free + cached slots).")
 	return writeTrace()
 }
 

@@ -1,0 +1,270 @@
+package alloc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// Batched free-list carve-out for per-mutator allocation caches
+// (core.Mutator). The paper's collector serves multi-threaded PCR
+// programs; the standard recipe — used by the Boehm collector's
+// thread-local free lists and by nofl-style block allocators alike —
+// is to hand each mutator a private run of free slots in one locked
+// operation, so the common allocation is a lock-free pointer bump
+// along the run.
+//
+// The contract that keeps the single-mutator path bit-for-bit
+// identical to per-object Alloc calls:
+//
+//   - AllocRun pops slots off the same threaded free list, in the same
+//     order, with the same refill trigger (an empty list at entry) that
+//     a sequence of Alloc calls would use, and stops early when the
+//     list runs dry rather than refilling mid-run — so block
+//     dedication and lazy-sweep drains happen at exactly the same
+//     allocation index as the unbatched path.
+//   - Carved slots get their alloc bits and liveSlots accounting
+//     immediately (the bitmaps are shared, word-granular state that a
+//     lock-free consumer must not touch), but the allocation *stats*
+//     are deferred: the mutator counts consumed slots locally and
+//     publishes them with CommitAllocs at its next slow path or
+//     safepoint, so BytesSinceGC — the collection trigger — reflects
+//     only objects actually handed out.
+//   - ReturnRun restores the unconsumed tail of a run exactly: pushed
+//     back in reverse, the rebuilt list has the same head, the same
+//     link words, and the same bits as if the tail had never been
+//     carved. A flush at a safepoint is therefore invisible to the
+//     sweep that follows it.
+//
+// A carved slot's link word is zeroed at carve time (under the
+// caller's lock); the consumer never writes heap memory, which keeps
+// the fast path free of any shared-memory access.
+
+// AllocRun carves up to max free slots of the small size class for
+// nwords into out (appended and returned). The first slot may refill
+// the free list — sweeping lazy-pending blocks or dedicating a fresh
+// block — exactly as a single Alloc would; ErrNeedMemory propagates to
+// the caller's collect/expand retry policy with nothing carved. The
+// run ends early when the list empties: the next AllocRun refills at
+// the same point per-object allocation would have.
+func (a *Allocator) AllocRun(nwords int, atomic bool, max int, out []mem.Addr) ([]mem.Addr, error) {
+	if nwords < 1 {
+		return out, fmt.Errorf("alloc: bad size %d", nwords)
+	}
+	if IsLarge(nwords) {
+		return out, fmt.Errorf("alloc: AllocRun of large object (%d words)", nwords)
+	}
+	if max < 1 {
+		max = 1
+	}
+	class, words := ClassFor(nwords)
+	idx := class
+	if atomic {
+		idx += NumClasses
+	}
+	if a.freeList[idx] == 0 {
+		if err := a.refill(class, atomic, idx, false); err != nil {
+			return out, err
+		}
+	}
+	for n := 0; n < max && a.freeList[idx] != 0; n++ {
+		p := a.freeList[idx]
+		next, err := a.loadWord(p)
+		if err != nil {
+			return out, fmt.Errorf("alloc: corrupt free list for class %d: %v", class, err)
+		}
+		a.freeList[idx] = mem.Addr(next)
+		if err := a.storeWord(p, 0); err != nil {
+			return out, err
+		}
+		bi := a.blockIndex(p)
+		b := &a.blocks[bi]
+		bitSet(b.allocBits, int(p-a.blockBase(bi))/(words*mem.WordBytes))
+		b.liveSlots++
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ReturnRun gives the unconsumed tail of a carved run back to its free
+// list, restoring exactly the list a sequence of per-object Allocs
+// would have left: slots are pushed in reverse so run[0] becomes the
+// head again with its original links rebuilt. Stats are untouched —
+// AllocRun never counted the slots (see CommitAllocs).
+func (a *Allocator) ReturnRun(nwords int, atomic bool, run []mem.Addr) {
+	if len(run) == 0 {
+		return
+	}
+	class, words := ClassFor(nwords)
+	idx := class
+	if atomic {
+		idx += NumClasses
+	}
+	for i := len(run) - 1; i >= 0; i-- {
+		p := run[i]
+		bi := a.blockIndex(p)
+		b := &a.blocks[bi]
+		bitClear(b.allocBits, int(p-a.blockBase(bi))/(words*mem.WordBytes))
+		b.liveSlots--
+		a.storeWord(p, mem.Word(a.freeList[idx]))
+		a.freeList[idx] = p
+	}
+}
+
+// CommitAllocs folds a mutator's locally-counted consumed-slot totals
+// into the allocator's statistics. Callers hold the central lock; the
+// per-slot carve bookkeeping already happened in AllocRun, so this is
+// the only accounting a cached allocation defers.
+func (a *Allocator) CommitAllocs(objects, bytes uint64) {
+	a.stats.ObjectsAllocated += objects
+	a.stats.BytesAllocated += bytes
+	a.stats.BytesSinceGC += bytes
+}
+
+// CheckIntegrity audits the allocator's slot accounting against the
+// given set of slots currently carved into mutator caches. It verifies
+// the concurrency battery's core invariants:
+//
+//   - no double-carve: no slot appears twice across the free lists and
+//     the caches, and no free-list slot has its alloc bit set;
+//   - cached slots are live: every cached slot is a small-block slot
+//     with its alloc bit set (so a sweep that ran now without flushing
+//     would misclassify it — which is why safepoints flush first);
+//   - conservation of slots: for every swept small block,
+//     alloc-bit population == liveSlots and live + free == usable, so
+//     live (including cached) + free + unusable = total;
+//   - conservation of blocks: free spans hold exactly the blockFree
+//     blocks and the dedicated/free counts match Stats.
+//
+// It returns nil when consistent and a descriptive error otherwise.
+// It is read-only and single-threaded: callers stop the world (or own
+// every lock) first.
+func (a *Allocator) CheckIntegrity(cached []mem.Addr) error {
+	type slotRef struct {
+		bi   int
+		slot int
+	}
+	seen := make(map[mem.Addr]string, len(cached))
+	cachedSet := make(map[mem.Addr]bool, len(cached))
+	freePerBlock := make(map[int]int)
+
+	locate := func(p mem.Addr, from string) (slotRef, *blockDesc, error) {
+		if !a.InCommitted(p) {
+			return slotRef{}, nil, fmt.Errorf("alloc: integrity: %s slot %#x outside committed heap", from, uint32(p))
+		}
+		bi := a.blockIndex(p)
+		b := &a.blocks[bi]
+		if b.state != blockSmall {
+			return slotRef{}, nil, fmt.Errorf("alloc: integrity: %s slot %#x in non-small block %d (state %d)", from, uint32(p), bi, b.state)
+		}
+		span := int(b.objWords) * mem.WordBytes
+		off := int(p - a.blockBase(bi))
+		if off%span != 0 {
+			return slotRef{}, nil, fmt.Errorf("alloc: integrity: %s slot %#x misaligned for class %d", from, uint32(p), b.class)
+		}
+		return slotRef{bi: bi, slot: off / span}, b, nil
+	}
+
+	for _, p := range cached {
+		if cachedSet[p] {
+			return fmt.Errorf("alloc: integrity: slot %#x carved into two mutator caches", uint32(p))
+		}
+		cachedSet[p] = true
+		seen[p] = "cache"
+		ref, b, err := locate(p, "cached")
+		if err != nil {
+			return err
+		}
+		if b.pendingSweep {
+			return fmt.Errorf("alloc: integrity: cached slot %#x in sweep-pending block %d", uint32(p), ref.bi)
+		}
+		if !bitGet(b.allocBits, ref.slot) {
+			return fmt.Errorf("alloc: integrity: cached slot %#x has a clear alloc bit", uint32(p))
+		}
+	}
+
+	walk := func(head mem.Addr, label string) error {
+		for p := head; p != 0; {
+			if prev, dup := seen[p]; dup {
+				return fmt.Errorf("alloc: integrity: slot %#x on %s already accounted to %s", uint32(p), label, prev)
+			}
+			seen[p] = label
+			ref, b, err := locate(p, label)
+			if err != nil {
+				return err
+			}
+			if b.pendingSweep {
+				return fmt.Errorf("alloc: integrity: free-list slot %#x in sweep-pending block %d", uint32(p), ref.bi)
+			}
+			if bitGet(b.allocBits, ref.slot) {
+				return fmt.Errorf("alloc: integrity: slot %#x on %s has its alloc bit set", uint32(p), label)
+			}
+			freePerBlock[ref.bi]++
+			next, err := a.loadWord(p)
+			if err != nil {
+				return fmt.Errorf("alloc: integrity: %s: %v", label, err)
+			}
+			p = mem.Addr(next)
+		}
+		return nil
+	}
+	for idx, head := range a.freeList {
+		if err := walk(head, fmt.Sprintf("freeList[%d]", idx)); err != nil {
+			return err
+		}
+	}
+	for key, head := range a.typedFree {
+		if err := walk(head, fmt.Sprintf("typedFree[%d/%d]", key.class, key.desc)); err != nil {
+			return err
+		}
+	}
+
+	freeBlocks, dedicated := 0, 0
+	for bi := range a.blocks {
+		b := &a.blocks[bi]
+		if b.state == blockFree {
+			freeBlocks++
+			continue
+		}
+		dedicated++
+		if b.state != blockSmall {
+			continue
+		}
+		if b.pendingSweep {
+			// A sweep-pending block's bits are the previous cycle's and
+			// its slots are on no list; nothing to reconcile until
+			// sweepBlock runs.
+			continue
+		}
+		live := 0
+		for _, w := range b.allocBits {
+			live += bits.OnesCount64(w)
+		}
+		if live != int(b.liveSlots) {
+			return fmt.Errorf("alloc: integrity: block %d alloc bits %d != liveSlots %d", bi, live, b.liveSlots)
+		}
+		words := int(b.objWords)
+		usable := slotsPerBlock(words) - a.firstSlot(words)
+		if live+freePerBlock[bi] != usable {
+			return fmt.Errorf("alloc: integrity: block %d live %d + free %d != usable %d", bi, live, freePerBlock[bi], usable)
+		}
+	}
+	spanFree := 0
+	for _, sp := range a.free {
+		for j := 0; j < sp.n; j++ {
+			if st := a.blocks[sp.start+j].state; st != blockFree {
+				return fmt.Errorf("alloc: integrity: free span holds block %d with state %d", sp.start+j, st)
+			}
+		}
+		spanFree += sp.n
+	}
+	if spanFree != freeBlocks {
+		return fmt.Errorf("alloc: integrity: free spans cover %d blocks, %d blocks are free", spanFree, freeBlocks)
+	}
+	if freeBlocks != a.stats.BlocksFree || dedicated != a.stats.BlocksDedicated {
+		return fmt.Errorf("alloc: integrity: stats say %d free/%d dedicated, heap has %d/%d",
+			a.stats.BlocksFree, a.stats.BlocksDedicated, freeBlocks, dedicated)
+	}
+	return nil
+}

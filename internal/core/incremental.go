@@ -26,12 +26,23 @@ import (
 // no-op if a cycle is already active. Outside incremental mode it is
 // an error.
 func (w *World) StartIncrementalCycle() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stwStartIncremental()
+}
+
+// stwStartIncremental stops the mutators (the snapshot root scan must
+// see quiescent stacks, and the FinishSweep barrier reclassifies
+// blocks) and begins a cycle. Callers hold w.mu.
+func (w *World) stwStartIncremental() error {
 	if !w.cfg.Incremental {
 		return fmt.Errorf("core: StartIncrementalCycle outside incremental mode")
 	}
 	if w.incActive {
 		return nil
 	}
+	w.stopMutatorsLocked()
+	defer w.resumeMutatorsLocked()
 	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 2)
 	// Deferred lazy sweeps hold the previous cycle's liveness in their
 	// mark bits; they must land before this cycle marks anything.
@@ -51,6 +62,15 @@ func (w *World) IncrementalActive() bool { return w.incActive }
 // returning true when the mark stack is drained (the cycle is ready to
 // finish).
 func (w *World) IncrementalStep(quantum int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.incrementalStepLocked(quantum)
+}
+
+// incrementalStepLocked is the marking-step body; callers hold w.mu.
+// Steps only advance the mark stack — no sweep, no classification —
+// so mutators keep running.
+func (w *World) incrementalStepLocked(quantum int) bool {
 	if !w.incActive {
 		return true
 	}
@@ -68,6 +88,23 @@ func (w *World) IncrementalStep(quantum int) bool {
 // and sweep. Returns the cycle's statistics; the Duration field covers
 // only the finale — the pause the mutator actually observes.
 func (w *World) FinishIncrementalCycle() CollectionStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stwFinishIncremental()
+}
+
+// stwFinishIncremental stops the mutators and runs the finale.
+// Callers hold w.mu.
+func (w *World) stwFinishIncremental() CollectionStats {
+	w.stopMutatorsLocked()
+	defer w.resumeMutatorsLocked()
+	return w.finishIncrementalLocked()
+}
+
+// finishIncrementalLocked is the finale body. Callers hold w.mu with
+// every mutator stopped and flushed (the finale sweeps; see
+// collectLocked).
+func (w *World) finishIncrementalLocked() CollectionStats {
 	if !w.incActive {
 		return w.last
 	}
@@ -107,6 +144,7 @@ func (w *World) FinishIncrementalCycle() CollectionStats {
 		Steps:               w.incSteps,
 		PauseMarkNs:         pauseMark.Nanoseconds(),
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
+		PauseStopNs:         w.lastStopNs,
 		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
 	w.incSteps = 0

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/alloc"
@@ -200,9 +201,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Mutator is the machine state the collector scans in addition to the
-// root segments. internal/machine.Machine implements it.
-type Mutator interface {
+// RootSource is the machine state the collector scans in addition to
+// the root segments: a register file and a live stack.
+// internal/machine.Machine implements it. A world scans the source
+// attached with SetMutator plus one per Mutator handle (see
+// mutator.go).
+type RootSource interface {
 	// Registers returns the full register file.
 	Registers() []mem.Word
 	// LiveStack returns the live stack words [SP, stack top) and the
@@ -244,6 +248,12 @@ type CollectionStats struct {
 	// the O(blocks) classification barrier under LazySweep, the full
 	// per-slot heap walk otherwise.
 	PauseSweepNs int64
+	// PauseStopNs is the time spent stopping registered Mutator
+	// handles before the cycle: parking each at its next allocation
+	// point and flushing its caches back to the free lists. Zero when
+	// no Mutator handles exist (Duration covers the pause from the
+	// point the world is stopped).
+	PauseStopNs int64
 	// SweepDeferredBlocks is how many blocks this cycle's sweep left
 	// pending for lazy sweeping (always 0 with LazySweep off).
 	SweepDeferredBlocks int
@@ -256,8 +266,24 @@ type World struct {
 	Marker    *mark.Marker
 	Blacklist blacklist.List
 
+	// mu is the central lock: it guards every collector structure —
+	// the allocator, marker, blacklist, address space, and all the
+	// fields below. Single-threaded use never contends on it. Mutator
+	// handles (mutator.go) take it only on their slow path; their
+	// common allocation is a pointer bump under the handle's own lock.
+	// Lock order: mu strictly before any Mutator.mu.
+	mu sync.Mutex
+	// muts holds every Mutator handle ever created on this world, in
+	// creation order. stopMutatorsLocked parks them all (locking each
+	// handle in order) before any phase that marks, sweeps, or
+	// reclassifies blocks.
+	muts []*Mutator
+	// lastStopNs is the duration of the most recent safepoint stop,
+	// recorded into the next cycle's CollectionStats.
+	lastStopNs int64
+
 	cfg             Config
-	mut             Mutator
+	mut             RootSource
 	par             *mark.Parallel // non-nil iff cfg.MarkWorkers > 1
 	collections     int
 	minorsSinceFull int
@@ -298,6 +324,13 @@ type worldMetrics struct {
 	pauseNs, markPauseNs, sweepNs  *metrics.Counter
 	markSteals                     *metrics.Counter
 
+	// Safepoint and mutator-cache counters, maintained at the stop and
+	// refill sites rather than per cycle (a safepoint can also close a
+	// MarkOnly measurement, and refills happen between cycles).
+	stwStops, stwPauseNs           *metrics.Counter
+	cacheRefills, cacheRefillSlots *metrics.Counter
+	cacheFlushSlots                *metrics.Counter
+
 	// Level gauges, refreshed from the allocator and blacklist at each
 	// cycle barrier and on Metrics()/MetricsSnapshot().
 	heapBytes, liveBytes, liveObjects *metrics.Gauge
@@ -305,7 +338,7 @@ type worldMetrics struct {
 	blacklistPages, blAdds, blHits    *metrics.Gauge
 	bytesAllocated, objectsAllocated  *metrics.Gauge
 	heapExpansions, desperateAllocs   *metrics.Gauge
-	markWorkers                       *metrics.Gauge
+	markWorkers, mutators             *metrics.Gauge
 }
 
 func newWorldMetrics() worldMetrics {
@@ -325,6 +358,11 @@ func newWorldMetrics() worldMetrics {
 		markPauseNs:        reg.Counter("mark_pause_ns"),
 		sweepNs:            reg.Counter("sweep_pause_ns"),
 		markSteals:         reg.Counter("mark_steals"),
+		stwStops:           reg.Counter("stw_stops"),
+		stwPauseNs:         reg.Counter("stw_pause_ns"),
+		cacheRefills:       reg.Counter("cache_refills"),
+		cacheRefillSlots:   reg.Counter("cache_refill_slots"),
+		cacheFlushSlots:    reg.Counter("cache_flush_slots"),
 		heapBytes:          reg.Gauge("heap_bytes"),
 		liveBytes:          reg.Gauge("live_bytes"),
 		liveObjects:        reg.Gauge("live_objects"),
@@ -338,6 +376,7 @@ func newWorldMetrics() worldMetrics {
 		heapExpansions:     reg.Gauge("heap_expansions"),
 		desperateAllocs:    reg.Gauge("desperate_allocs"),
 		markWorkers:        reg.Gauge("mark_workers"),
+		mutators:           reg.Gauge("mutators"),
 	}
 }
 
@@ -382,14 +421,18 @@ func (w *World) SetGCTrace(out io.Writer) { w.gctrace = out }
 // cycle's CollectionStats; the gauges mirror the allocator's and
 // blacklist's current state.
 func (w *World) Metrics() *metrics.Registry {
+	w.mu.Lock()
 	w.syncGauges()
+	w.mu.Unlock()
 	return w.met.reg
 }
 
 // MetricsSnapshot synchronises the gauges and returns every metric's
 // current value in registration order.
 func (w *World) MetricsSnapshot() []metrics.Sample {
+	w.mu.Lock()
 	w.syncGauges()
+	w.mu.Unlock()
 	return w.met.reg.Snapshot()
 }
 
@@ -462,6 +505,9 @@ func (w *World) writeGCTrace(st CollectionStats) {
 	}
 	if st.SweepDeferredBlocks > 0 {
 		fmt.Fprintf(w.gctrace, ", %d deferred", st.SweepDeferredBlocks)
+	}
+	if st.PauseStopNs > 0 {
+		fmt.Fprintf(w.gctrace, ", stop %.2fms", float64(st.PauseStopNs)/1e6)
 	}
 	fmt.Fprintln(w.gctrace)
 }
@@ -545,16 +591,28 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 // Config returns the world's effective configuration.
 func (w *World) Config() Config { return w.cfg }
 
-// SetMutator attaches the mutator whose registers and stack are scanned.
-func (w *World) SetMutator(m Mutator) { w.mut = m }
+// SetMutator attaches the root source whose registers and stack are
+// scanned (concurrent mutator goroutines attach theirs through their
+// Mutator handle instead; see World.NewMutator).
+func (w *World) SetMutator(m RootSource) {
+	w.mu.Lock()
+	w.mut = m
+	w.mu.Unlock()
+}
 
-// Mutator returns the attached mutator (possibly nil).
-func (w *World) Mutator() Mutator { return w.mut }
+// RootSource returns the root source attached with SetMutator
+// (possibly nil).
+func (w *World) RootSource() RootSource { return w.mut }
 
 // Allocate allocates an object of nwords words, collecting and/or
 // expanding the heap as needed. atomic marks the object pointer-free.
 func (w *World) Allocate(nwords int, atomic bool) (mem.Addr, error) {
-	return w.allocate(nwords,
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.mut != nil {
+		w.mut.OnAllocate()
+	}
+	return w.allocateLocked(nwords, w.mut,
 		func() (mem.Addr, error) { return w.Heap.Alloc(nwords, atomic) },
 		func() (mem.Addr, error) { return w.Heap.AllocDesperate(nwords, atomic) })
 }
@@ -570,11 +628,16 @@ func (w *World) RegisterLayout(ptrMask []bool) (alloc.DescID, error) {
 // "complete information on the location of pointers in the heap"
 // operating point of the paper's introduction.
 func (w *World) AllocateTyped(id alloc.DescID) (mem.Addr, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	d, err := w.Heap.Descriptor(id)
 	if err != nil {
 		return 0, err
 	}
-	return w.allocate(d.Words,
+	if w.mut != nil {
+		w.mut.OnAllocate()
+	}
+	return w.allocateLocked(d.Words, w.mut,
 		func() (mem.Addr, error) { return w.Heap.AllocTyped(id) },
 		nil)
 }
@@ -585,17 +648,22 @@ func (w *World) AllocateTyped(id alloc.DescID) (mem.Addr, error) {
 // constrains the first page (observation 7 / the original collector's
 // GC_malloc_ignore_off_page).
 func (w *World) AllocateIgnoreOffPage(nwords int, atomic bool) (mem.Addr, error) {
-	return w.allocate(nwords,
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.mut != nil {
+		w.mut.OnAllocate()
+	}
+	return w.allocateLocked(nwords, w.mut,
 		func() (mem.Addr, error) { return w.Heap.AllocIgnoreOffPage(nwords, atomic) },
 		nil)
 }
 
-// allocate runs the collection/expansion retry policy around one
-// allocation primitive.
-func (w *World) allocate(nwords int, try, desperate func() (mem.Addr, error)) (mem.Addr, error) {
-	if w.mut != nil {
-		w.mut.OnAllocate()
-	}
+// allocateLocked runs the collection/expansion retry policy around one
+// allocation primitive. Callers hold w.mu and have already invoked the
+// OnAllocate hook; src is the root source of the allocating mutator
+// (for allocator-residue simulation) — the attached RootSource for the
+// direct World entry points, the handle's source for Mutator ones.
+func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func() (mem.Addr, error)) (mem.Addr, error) {
 	// Regular-interval trigger. Incremental mode starts a cycle and
 	// advances it in bounded steps; generational mode prefers the
 	// cheaper minor cycle with a periodic full cycle.
@@ -604,33 +672,33 @@ func (w *World) allocate(nwords int, try, desperate func() (mem.Addr, error)) (m
 		if !w.incActive && w.cfg.GCDivisor > 0 &&
 			st.BytesSinceGC > uint64(st.HeapBytes/w.cfg.GCDivisor) {
 			w.allocTrigger(2)
-			w.StartIncrementalCycle()
+			w.stwStartIncremental()
 		}
-		if w.incActive && w.IncrementalStep(w.cfg.MarkQuantum) {
-			w.FinishIncrementalCycle()
+		if w.incActive && w.incrementalStepLocked(w.cfg.MarkQuantum) {
+			w.stwFinishIncremental()
 			w.expandIfTight()
 		}
 	} else if w.cfg.Generational && w.cfg.MinorDivisor > 0 &&
 		w.Heap.Stats().BytesSinceGC > uint64(w.Heap.Stats().HeapBytes/w.cfg.MinorDivisor) {
 		if w.minorsSinceFull >= w.cfg.FullEvery-1 {
 			w.allocTrigger(0)
-			w.Collect()
+			w.stwCollect()
 			w.expandIfTight()
 		} else {
 			w.allocTrigger(1)
-			w.CollectMinor()
+			w.stwCollectMinor()
 		}
 	} else if w.cfg.GCDivisor > 0 &&
 		w.Heap.Stats().BytesSinceGC > uint64(w.Heap.Stats().HeapBytes/w.cfg.GCDivisor) {
 		w.allocTrigger(0)
-		w.Collect()
+		w.stwCollect()
 		w.expandIfTight()
 	}
 	p, err := try()
 	if err == alloc.ErrNeedMemory {
 		if w.incActive {
 			// Complete the in-flight incremental cycle: it will sweep.
-			w.FinishIncrementalCycle()
+			w.stwFinishIncremental()
 			p, err = try()
 		}
 	}
@@ -641,7 +709,7 @@ func (w *World) allocate(nwords int, try, desperate func() (mem.Addr, error)) (m
 		// GC_collect_or_expand makes the same distinction).
 		st := w.Heap.Stats()
 		if st.BytesSinceGC > uint64(st.HeapBytes/8) {
-			w.Collect()
+			w.stwCollect()
 			p, err = try()
 		}
 	}
@@ -664,7 +732,7 @@ func (w *World) allocate(nwords int, try, desperate func() (mem.Addr, error)) (m
 		return 0, err
 	}
 	if w.cfg.AllocatorResidue {
-		if rs, ok := w.mut.(residueSimulator); ok {
+		if rs, ok := src.(residueSimulator); ok {
 			rs.SimulateCallResidue(w.cfg.AllocatorSelfClean, mem.Word(p), mem.Word(nwords))
 		}
 	}
@@ -692,7 +760,10 @@ func (w *World) expandIfTight() {
 	}
 }
 
-// markRoots performs the root-scanning half of a collection.
+// markRoots performs the root-scanning half of a collection: the
+// attached root source, each stopped mutator's registers and simulated
+// stack, then the root segments. Callers hold w.mu with every mutator
+// stopped, so the sources are quiescent.
 func (w *World) markRoots() {
 	if w.mut != nil {
 		for _, r := range w.mut.Registers() {
@@ -701,6 +772,18 @@ func (w *World) markRoots() {
 			}
 		}
 		stackWords, _ := w.mut.LiveStack()
+		w.Marker.MarkWords(stackWords)
+	}
+	for _, m := range w.muts {
+		if m.src == nil {
+			continue
+		}
+		for _, r := range m.src.Registers() {
+			if r != 0 {
+				w.Marker.MarkValue(r)
+			}
+		}
+		stackWords, _ := m.src.LiveStack()
 		w.Marker.MarkWords(stackWords)
 	}
 	w.Marker.MarkRootSegments(w.Space)
@@ -740,19 +823,47 @@ func (w *World) markPhase(minor bool) (mark.Stats, int) {
 		stackWords, _ := w.mut.LiveStack()
 		w.par.AddRoots(stackWords)
 	}
+	for _, m := range w.muts {
+		if m.src == nil {
+			continue
+		}
+		w.par.AddSparseRoots(m.src.Registers())
+		stackWords, _ := m.src.LiveStack()
+		w.par.AddRoots(stackWords)
+	}
 	for _, s := range w.Space.Roots() {
 		w.par.AddRoots(s.Words())
 	}
 	return w.par.Run(), dirty
 }
 
-// Collect runs a full stop-the-world collection: mark from registers,
-// live stack and root segments; drain; handle finalisable objects;
-// sweep; age the blacklist.
+// Collect runs a full stop-the-world collection: park every mutator
+// handle at its next allocation point and flush its caches, then mark
+// from registers, live stacks and root segments; drain; handle
+// finalisable objects; sweep; age the blacklist.
 func (w *World) Collect() CollectionStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stwCollect()
+}
+
+// stwCollect stops the mutators and runs a full collection. Callers
+// hold w.mu.
+func (w *World) stwCollect() CollectionStats {
+	w.stopMutatorsLocked()
+	defer w.resumeMutatorsLocked()
+	return w.collectLocked()
+}
+
+// collectLocked is the full collection body. Callers hold w.mu with
+// every mutator stopped and flushed: the sweep classifies blocks from
+// their bitmaps, so a cached (allocated-but-unreachable) slot that was
+// not flushed back to its free list would be reclaimed and then carved
+// a second time.
+func (w *World) collectLocked() CollectionStats {
 	if w.incActive {
 		// A full collection supersedes the in-flight incremental cycle.
-		return w.FinishIncrementalCycle()
+		return w.finishIncrementalLocked()
 	}
 	start := time.Now()
 	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 0)
@@ -808,6 +919,7 @@ func (w *World) Collect() CollectionStats {
 		HeapBytes:           w.Heap.Stats().HeapBytes,
 		PauseMarkNs:         pauseMark.Nanoseconds(),
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
+		PauseStopNs:         w.lastStopNs,
 		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
 	w.traceCycleEnd(w.last)
@@ -860,8 +972,24 @@ func (w *World) traceCycleEnd(st CollectionStats) {
 // generation (the sticky-mark-bit scheme of the paper's reference
 // [13]). Outside generational mode it behaves like Collect.
 func (w *World) CollectMinor() CollectionStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stwCollectMinor()
+}
+
+// stwCollectMinor stops the mutators and runs a minor collection.
+// Callers hold w.mu.
+func (w *World) stwCollectMinor() CollectionStats {
+	w.stopMutatorsLocked()
+	defer w.resumeMutatorsLocked()
+	return w.collectMinorLocked()
+}
+
+// collectMinorLocked is the minor collection body. Callers hold w.mu
+// with every mutator stopped and flushed (see collectLocked).
+func (w *World) collectMinorLocked() CollectionStats {
 	if !w.cfg.Generational {
-		return w.Collect()
+		return w.collectLocked()
 	}
 	start := time.Now()
 	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 1)
@@ -902,6 +1030,7 @@ func (w *World) CollectMinor() CollectionStats {
 		Promoted:            mstats.ObjectsMarked,
 		PauseMarkNs:         pauseMark.Nanoseconds(),
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
+		PauseStopNs:         w.lastStopNs,
 		SweepDeferredBlocks: w.Heap.SweepPending(),
 	}
 	w.traceCycleEnd(w.last)
@@ -914,10 +1043,14 @@ func (w *World) CollectMinor() CollectionStats {
 // paper's section 3.1 reports exactly this quantity ("apparently
 // accessible cons-cells").
 func (w *World) MarkOnly() (objects, bytes uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopMutatorsLocked()
+	defer w.resumeMutatorsLocked()
 	if w.incActive {
 		// Mark-only measurement would clobber the in-flight cycle's
 		// mark bits; complete the cycle first.
-		w.FinishIncrementalCycle()
+		w.finishIncrementalLocked()
 	}
 	w.Heap.FinishSweep() // pending bits are the previous cycle's, not this one's
 	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.cfg.MarkWorkers), 0)
@@ -944,7 +1077,14 @@ func (w *World) RegisterFinalizable(a mem.Addr) { w.finalizable[a] = struct{}{} 
 // Collections finish the remainder automatically before marking, so
 // explicit calls are only needed by tests and measurements that must
 // observe final reclamation state without running another cycle.
-func (w *World) FinishSweep() int { return w.Heap.FinishSweep() }
+// Deferred sweeps rebuild free lists but never touch carved runs (a
+// cached slot is never in a sweep-pending block), so mutators need not
+// stop.
+func (w *World) FinishSweep() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Heap.FinishSweep()
+}
 
 // DrainReclaimed returns and clears the queue of reclaimed registered
 // objects.
@@ -955,12 +1095,23 @@ func (w *World) DrainReclaimed() []mem.Addr {
 }
 
 // Load reads a heap or segment word (convenience for workloads).
-func (w *World) Load(a mem.Addr) (mem.Word, error) { return w.Space.Load(a) }
+func (w *World) Load(a mem.Addr) (mem.Word, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Space.Load(a)
+}
 
 // Store writes a heap or segment word (convenience for workloads). In
 // generational mode it doubles as the write barrier: heap stores dirty
 // their page, like the VM-dirty-bit barrier of the PCR collector.
 func (w *World) Store(a mem.Addr, v mem.Word) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.storeLocked(a, v)
+}
+
+// storeLocked is the write barrier + store body; callers hold w.mu.
+func (w *World) storeLocked(a mem.Addr, v mem.Word) error {
 	if w.cfg.Generational || w.incActive {
 		w.Heap.MarkDirty(a)
 	}

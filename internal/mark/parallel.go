@@ -13,7 +13,10 @@
 //     gray objects onto a shared, mutex-guarded overflow queue, from
 //     which idle workers steal;
 //   - root areas and dirty-page rescans are enqueued as chunk tasks, so
-//     initial work is balanced dynamically rather than statically;
+//     initial work is balanced dynamically rather than statically. The
+//     root areas include every stopped mutator handle's registers and
+//     simulated stack (core's safepoint protocol parks and flushes the
+//     handles before any worker starts, so the sources are quiescent);
 //   - termination is detected with an idle-worker count: when every
 //     worker is idle and the shared queue is empty, no gray objects can
 //     exist anywhere, so the fixpoint is reached;

@@ -86,6 +86,16 @@ const (
 	// EvIncStep records one bounded incremental marking step. A0 step
 	// number within the cycle, A1 mark-stack entries remaining.
 	EvIncStep
+	// EvSafepoint records a stop-the-world safepoint: every registered
+	// mutator parked and its allocation caches flushed. A0 mutators
+	// stopped, A1 cached slots flushed back to the free lists, A2 stop
+	// duration in nanoseconds.
+	EvSafepoint
+	// EvCacheRefill records a mutator allocation cache refilling from
+	// the central free lists in one batched carve. A0 free-list index
+	// (class, +NumClasses when atomic), A1 slots carved, A2 object
+	// words per slot.
+	EvCacheRefill
 
 	numKinds // sentinel: keep last
 )
@@ -106,6 +116,8 @@ var kindNames = [numKinds]string{
 	EvHeapExpand:     "heap_expand",
 	EvDesperateAlloc: "desperate_alloc",
 	EvIncStep:        "inc_step",
+	EvSafepoint:      "safepoint",
+	EvCacheRefill:    "cache_refill",
 }
 
 func (k Kind) String() string {

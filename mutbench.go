@@ -1,0 +1,175 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// MutBenchOptions parameterises the concurrent-mutator throughput
+// measurement.
+type MutBenchOptions struct {
+	Mutators []int // mutator counts to measure; default powers of two up to GOMAXPROCS
+	Allocs   int   // allocations per mutator (default 40000)
+	// Trace, when non-nil, records collector events (safepoints, cache
+	// refills, cycles) from every measured world (cmd/gcbench -trace).
+	Trace *TraceRecorder
+}
+
+// MutBenchRow is one mutator count's measurement.
+type MutBenchRow struct {
+	Mutators     int     `json:"mutators"`
+	NsPerAlloc   float64 `json:"ns_per_alloc"`
+	AllocsPerSec float64 `json:"allocs_per_sec"`
+	// ObjectsAllocated is deterministic — every goroutine performs
+	// exactly Allocs allocations — so the regression gate checks it
+	// exactly: a missed cache flush or double-carve breaks conservation
+	// and shows up here or in the world's integrity audit.
+	ObjectsAllocated uint64 `json:"objects_allocated"`
+	// FastFraction is the share of allocations served from per-mutator
+	// caches without the central lock. Collections and StwStops are
+	// informational: automatic triggers depend on goroutine
+	// interleaving, so the gate does not compare them.
+	FastFraction float64 `json:"fast_fraction"`
+	Collections  int     `json:"collections"`
+	// Speedup is serial throughput over this row's — only meaningful
+	// with real cores, so oversubscribed rows (more mutators than
+	// GOMAXPROCS) report 0, as in MarkBench.
+	Speedup        float64 `json:"speedup_vs_serial"`
+	Oversubscribed bool    `json:"oversubscribed"`
+}
+
+// MutBenchResult is the full measurement with the environment it ran
+// in.
+type MutBenchResult struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numcpu"`
+	Allocs     int           `json:"allocs_per_mutator"`
+	Rows       []MutBenchRow `json:"rows"`
+}
+
+// MutBench measures allocation throughput against the mutator count:
+// every goroutine churns through the same per-goroutine allocation
+// script (mostly garbage, every eighth object rooted in its private
+// data slot), so contention on the central lock and safepoint stops
+// are the only things that change between rows.
+func MutBench(opts MutBenchOptions) (*MutBenchResult, *stats.Table, error) {
+	if len(opts.Mutators) == 0 {
+		for n := 1; n <= runtime.GOMAXPROCS(0); n *= 2 {
+			opts.Mutators = append(opts.Mutators, n)
+		}
+	}
+	if opts.Allocs == 0 {
+		opts.Allocs = 40000
+	}
+	res := &MutBenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Allocs:     opts.Allocs,
+	}
+	var serialNs float64
+	for _, n := range opts.Mutators {
+		w, err := NewWorld(Config{
+			InitialHeapBytes: 16 << 20, ReserveHeapBytes: 64 << 20,
+			GCDivisor: 8, LazySweep: true,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		w.SetTracer(opts.Trace)
+		const slots = 8
+		data, err := w.Space.MapNew("roots", KindData, 0x2000, n*slots*4, n*slots*4)
+		if err != nil {
+			return nil, nil, err
+		}
+		muts := make([]*Mutator, n)
+		for g := range muts {
+			muts[g] = w.NewMutator()
+		}
+		sizes := []int{2, 4, 8, 16}
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		start := time.Now()
+		for g := 0; g < n; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				m := muts[g]
+				base := Addr(0x2000 + g*slots*4)
+				for i := 0; i < opts.Allocs; i++ {
+					size := sizes[i&3]
+					if i&7 == 0 {
+						slot := Addr(4 * ((i >> 3) % slots))
+						if _, err := m.AllocateRooted(data, base+slot, size, false); err != nil {
+							errs[g] = err
+							return
+						}
+					} else if _, err := m.Allocate(size, false); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for g, err := range errs {
+			if err != nil {
+				return nil, nil, fmt.Errorf("mutbench: mutator %d: %w", g, err)
+			}
+		}
+		// The final collection publishes every handle's counters; the
+		// integrity audit would catch a double-carved or leaked slot.
+		w.Collect()
+		if err := w.VerifyIntegrity(); err != nil {
+			return nil, nil, fmt.Errorf("mutbench: %w", err)
+		}
+		total := uint64(n * opts.Allocs)
+		if got := w.Heap.Stats().ObjectsAllocated; got != total {
+			return nil, nil, fmt.Errorf("mutbench: %d objects allocated centrally, mutators performed %d", got, total)
+		}
+		var fast uint64
+		for _, m := range muts {
+			fast += m.Stats().FastAllocs
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(total)
+		if n == 1 {
+			serialNs = ns
+		}
+		over := n > res.GoMaxProcs
+		speedup := 0.0
+		if serialNs > 0 && !over {
+			speedup = serialNs / ns
+		}
+		res.Rows = append(res.Rows, MutBenchRow{
+			Mutators:         n,
+			NsPerAlloc:       ns,
+			AllocsPerSec:     1e9 / ns,
+			ObjectsAllocated: total,
+			FastFraction:     float64(fast) / float64(total),
+			Collections:      w.Collections(),
+			Speedup:          speedup,
+			Oversubscribed:   over,
+		})
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Concurrent mutator throughput (%d allocs each, GOMAXPROCS=%d, NumCPU=%d)",
+			opts.Allocs, res.GoMaxProcs, res.NumCPU),
+		"mutators", "ns/alloc", "Mallocs/s", "fast%", "collections", "speedup")
+	for _, r := range res.Rows {
+		speedup := fmt.Sprintf("%.2fx", r.Speedup)
+		if r.Oversubscribed {
+			speedup = "n/a (oversubscribed)"
+		}
+		tab.AddF(r.Mutators,
+			fmt.Sprintf("%.1f", r.NsPerAlloc),
+			fmt.Sprintf("%.2f", r.AllocsPerSec/1e6),
+			fmt.Sprintf("%.1f", r.FastFraction*100),
+			r.Collections,
+			speedup)
+	}
+	return res, tab, nil
+}

@@ -155,6 +155,33 @@ func NewMachine(w *World, cfg MachineConfig) (*Machine, error) {
 	return m, nil
 }
 
+// Concurrent mutator handles (DESIGN.md section 5d). Create one per
+// allocating goroutine:
+//
+//	m := w.NewMutator()
+//	obj, _ := m.Allocate(2, false)           // usually lock-free of the central lock
+//	obj, _ = m.AllocateRooted(data, 0x2000, 2, false) // allocate + root atomically
+//	m.Collect()                              // stops and flushes every handle
+type (
+	// Mutator is one goroutine's allocation handle onto a World.
+	Mutator = core.Mutator
+	// MutatorStats counts one handle's fast/slow-path activity.
+	MutatorStats = core.MutatorStats
+)
+
+// NewMutatorMachine creates a machine in the world's address space and
+// attaches it as a mutator handle's root source: the machine's
+// registers and stack are scanned as that mutator's roots at every
+// safepoint.
+func NewMutatorMachine(w *World, m *Mutator, cfg MachineConfig) (*Machine, error) {
+	mach, err := machine.New(w.Space, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.SetRootSource(mach)
+	return mach, nil
+}
+
 // Platform profiles (paper, table 1 and appendix B).
 type (
 	// Profile describes one table-1 environment.
