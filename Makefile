@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench mutbench soak benchgate fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench mutbench retentionbench soak benchgate heapdump-smoke fuzz-smoke
 
 ci: fmt vet build test race
 
@@ -54,6 +54,12 @@ sweepbench:
 mutbench:
 	$(GO) run ./cmd/gcbench -experiment mutbench -mutators 1,2,4,8 -benchjson BENCH_3.json
 
+# Regenerates BENCH_4.json (retention attribution on the section-4 lazy
+# stream with a planted false stack reference). Single-threaded and
+# fully deterministic: every count column is gated exactly.
+retentionbench:
+	$(GO) run ./cmd/gcbench -experiment retention -benchjson BENCH_4.json
+
 # Multi-mutator soak: many allocation/collection rounds against one
 # generational + lazy-sweep world, with a full allocator integrity
 # audit after every round. Not part of `make ci`; run it when touching
@@ -72,6 +78,14 @@ benchgate:
 	$(GO) run ./cmd/benchgate -baseline BENCH_1.json -tolerance $(BENCHGATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_2.json -tolerance $(BENCHGATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_3.json -tolerance $(BENCHGATE_TOLERANCE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_4.json -tolerance $(BENCHGATE_TOLERANCE)
+
+# Self-checking retention demo: plant a false stack reference retaining
+# a lazy stream (paper, section 4) and assert that the retention report
+# censors the declared slot, attributes the chain as spurious, and that
+# the sole-retention ranking names the same slot unprompted.
+heapdump-smoke:
+	$(GO) run ./cmd/heapdump -plantfalse
 
 # Short fuzzing pass over every fuzz target. Each -fuzz pattern must
 # match exactly one target per package, hence one invocation apiece.

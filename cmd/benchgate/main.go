@@ -13,7 +13,8 @@
 //
 // The baseline schema is detected from its rows: rows keyed by
 // "workers" are a markbench result, rows keyed by "mode" are a
-// sweepbench result, rows keyed by "mutators" are a mutbench result.
+// sweepbench result, rows keyed by "mutators" are a mutbench result,
+// rows keyed by "round" are a retention result.
 // A machine-readable JSON report goes to stdout.
 // Exit status: 0 pass, 1 regression, 2 usage or I/O error.
 //
@@ -188,6 +189,52 @@ func CompareMut(base, cand *repro.MutBenchResult, tol float64) *Report {
 	return rep.finish()
 }
 
+// CompareRetention gates a candidate retention result against a
+// baseline. Rows are matched by round. The workload is single-threaded
+// and fully deterministic, so every count column is an exact invariant
+// — live/genuine/spurious attribution, censored roots, root slots, the
+// top sole-retention count, and the provenance record count. Only the
+// report wall time is gated as a timing metric.
+func CompareRetention(base, cand *repro.RetentionBenchResult, tol float64) *Report {
+	rep := &Report{Schema: "retention", Tolerance: tol}
+	byRound := make(map[int]repro.RetentionBenchRow)
+	for _, row := range cand.Rows {
+		byRound[row.Round] = row
+	}
+	for _, b := range base.Rows {
+		c, ok := byRound[b.Round]
+		name := fmt.Sprintf("round=%d", b.Round)
+		if !ok {
+			rep.Checks = append(rep.Checks, Check{
+				Name: name + "/present", Kind: "invariant",
+				Baseline: 1, Candidate: 0, Limit: 1, Pass: false,
+			})
+			continue
+		}
+		rep.invariantCheck(name+"/steps", float64(b.Steps), float64(c.Steps))
+		rep.invariantCheck(name+"/live_objects",
+			float64(b.LiveObjects), float64(c.LiveObjects))
+		rep.invariantCheck(name+"/live_bytes",
+			float64(b.LiveBytes), float64(c.LiveBytes))
+		rep.invariantCheck(name+"/genuine_objects",
+			float64(b.GenuineObjects), float64(c.GenuineObjects))
+		rep.invariantCheck(name+"/spurious_objects",
+			float64(b.SpuriousObjects), float64(c.SpuriousObjects))
+		rep.invariantCheck(name+"/spurious_bytes",
+			float64(b.SpuriousBytes), float64(c.SpuriousBytes))
+		rep.invariantCheck(name+"/censored_roots",
+			float64(b.CensoredRoots), float64(c.CensoredRoots))
+		rep.invariantCheck(name+"/root_slots",
+			float64(b.RootSlots), float64(c.RootSlots))
+		rep.invariantCheck(name+"/top_sole_objects",
+			float64(b.TopSoleObjects), float64(c.TopSoleObjects))
+		rep.invariantCheck(name+"/provenance_records",
+			float64(b.ProvenanceRecords), float64(c.ProvenanceRecords))
+		rep.timeCheck(name+"/report_ms", b.ReportMs, c.ReportMs)
+	}
+	return rep.finish()
+}
+
 // detectSchema classifies a benchmark JSON by its first row's keys.
 func detectSchema(data []byte) (string, error) {
 	var probe struct {
@@ -208,7 +255,10 @@ func detectSchema(data []byte) (string, error) {
 	if _, ok := probe.Rows[0]["mutators"]; ok {
 		return "mutbench", nil
 	}
-	return "", fmt.Errorf("rows have no \"mode\", \"workers\" or \"mutators\" keys")
+	if _, ok := probe.Rows[0]["round"]; ok {
+		return "retention", nil
+	}
+	return "", fmt.Errorf("rows have no \"mode\", \"workers\", \"mutators\" or \"round\" keys")
 }
 
 // Gate loads the baseline, obtains a candidate (from candidatePath or a
@@ -323,6 +373,26 @@ func Gate(baselinePath, candidatePath string, tol float64) (*Report, error) {
 			cand = *res
 		}
 		return CompareMut(&base, &cand, tol), nil
+	case "retention":
+		var base repro.RetentionBenchResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, err
+		}
+		var cand repro.RetentionBenchResult
+		if candData != nil {
+			if err := json.Unmarshal(candData, &cand); err != nil {
+				return nil, err
+			}
+		} else {
+			res, _, err := repro.RetentionBench(repro.RetentionBenchOptions{
+				Rounds: base.Rounds, Steps: base.StepsPerRound,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cand = *res
+		}
+		return CompareRetention(&base, &cand, tol), nil
 	}
 	return nil, fmt.Errorf("unreachable schema %q", schema)
 }

@@ -129,6 +129,37 @@ func (a *Allocator) ForEachMarkedObjectAtomic(bi int, fn func(base mem.Addr)) {
 	}
 }
 
+// ForEachObject calls fn with the base address of every currently
+// allocated object, in address order. Objects in sweep-pending blocks
+// follow the IsAllocated rule: an unmarked one was classified dead by
+// the last collection (only its reclamation is deferred), so it is
+// skipped. Heap-snapshot exports and retention reports use this to
+// enumerate the heap without probing every slot address.
+func (a *Allocator) ForEachObject(fn func(base mem.Addr)) {
+	for bi := range a.blocks {
+		b := &a.blocks[bi]
+		switch b.state {
+		case blockLargeHead:
+			if !b.pendingSweep || b.markBits[0]&1 != 0 {
+				fn(a.blockBase(bi))
+			}
+		case blockSmall:
+			objBytes := int(b.objWords) * mem.WordBytes
+			base := a.blockBase(bi)
+			for wi, av := range b.allocBits {
+				w := av
+				if b.pendingSweep {
+					w &= b.markBits[wi]
+				}
+				for ; w != 0; w &= w - 1 {
+					slot := wi<<6 + bits.TrailingZeros64(w)
+					fn(base + mem.Addr(slot*objBytes))
+				}
+			}
+		}
+	}
+}
+
 // SweepSticky is Sweep with mark bits preserved: unmarked objects are
 // freed, marked objects stay marked ("old"). Together with MarkDirty
 // and a root re-scan it implements the sticky-mark-bit minor collection

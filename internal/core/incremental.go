@@ -49,6 +49,11 @@ func (w *World) stwStartIncremental() error {
 	w.Heap.FinishSweep()
 	w.Blacklist.BeginCycle()
 	w.Marker.Reset()
+	if w.prov.enabled {
+		// Incremental cycles mark serially whatever MarkWorkers says, so
+		// recording lives on the serial marker; the finale harvests it.
+		w.Marker.StartRecording()
+	}
 	w.Heap.ClearDirty()
 	w.markRoots()
 	w.incActive = true
@@ -134,6 +139,7 @@ func (w *World) finishIncrementalLocked() CollectionStats {
 	}
 	w.collections++
 	w.incActive = false
+	provRecs := w.harvestProvenance(2)
 	w.last = CollectionStats{
 		Mark:                w.Marker.Stats(),
 		Sweep:               sweep,
@@ -146,6 +152,8 @@ func (w *World) finishIncrementalLocked() CollectionStats {
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
 		PauseStopNs:         w.lastStopNs,
 		SweepDeferredBlocks: w.Heap.SweepPending(),
+		Provenance:          w.prov.enabled,
+		ProvenanceRecords:   provRecs,
 	}
 	w.incSteps = 0
 	w.traceCycleEnd(w.last)

@@ -482,6 +482,7 @@ func (w *World) stopMutatorsLocked() {
 	w.lastStopNs = time.Since(start).Nanoseconds()
 	w.met.stwStops.Inc()
 	w.met.stwPauseNs.Add(uint64(w.lastStopNs))
+	w.met.stopHist.Record(uint64(w.lastStopNs))
 	w.met.cacheFlushSlots.Add(uint64(flushed))
 	if w.tracer.Enabled() {
 		w.tracer.Emit(trace.EvSafepoint, int64(len(w.muts)), int64(flushed), w.lastStopNs)

@@ -362,6 +362,86 @@ func TestMetricsMatchCollectionStats(t *testing.T) {
 	check("bytes_allocated", hs.BytesAllocated)
 	check("objects_allocated", hs.ObjectsAllocated)
 	check("mark_workers", 1)
+
+	// The pause histograms see every cycle: their counts and sums are
+	// the same accounting as the pause counters.
+	markHist := reg.Histogram("mark_pause_ns_hist")
+	sweepHist := reg.Histogram("sweep_pause_ns_hist")
+	if markHist.Count() != sum.cycles || markHist.Sum() != sum.markPauseNs {
+		t.Fatalf("mark hist count=%d sum=%d, cycles=%d markPauseNs=%d",
+			markHist.Count(), markHist.Sum(), sum.cycles, sum.markPauseNs)
+	}
+	if sweepHist.Count() != sum.cycles || sweepHist.Sum() != sum.sweepNs {
+		t.Fatalf("sweep hist count=%d sum=%d, cycles=%d sweepNs=%d",
+			sweepHist.Count(), sweepHist.Sum(), sum.cycles, sum.sweepNs)
+	}
+}
+
+// TestMetricsMatchMutatorStats extends the running-sums invariant to
+// the concurrent-mutator counters: stw_stops/stw_pause_ns accumulate
+// exactly one safepoint stop per collection of a world with handles
+// attached, and the cache_refill*/cache_flush_slots counters are the
+// sums of every handle's MutatorStats.
+func TestMetricsMatchMutatorStats(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1, LazySweep: true})
+	data := addData(t, w, "data", 0x2000, 4096)
+	var stops, stopNs uint64
+	w.SetCollectionHook(func(st CollectionStats) {
+		stops++ // each collection stops the attached handles exactly once
+		stopNs += uint64(st.PauseStopNs)
+	})
+	const nMut = 3
+	muts := make([]*Mutator, nMut)
+	for g := range muts {
+		muts[g] = w.NewMutator()
+	}
+	// Single-goroutine driving keeps this deterministic; handles are
+	// per-goroutine, not thread-safe, and that is all this test needs.
+	for round := 0; round < 3; round++ {
+		for g, m := range muts {
+			for i := 0; i < 40; i++ {
+				slot := mem.Addr(0x2000 + 4*g)
+				if i == 0 {
+					if _, err := m.AllocateRooted(data, slot, 2, false); err != nil {
+						t.Fatal(err)
+					}
+				} else if _, err := m.Allocate(2, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		w.Collect()
+	}
+	var refills, refillSlots, flushSlots uint64
+	for _, m := range muts {
+		s := m.Stats()
+		refills += s.Refills
+		refillSlots += s.RunSlots
+		flushSlots += s.FlushedSlots
+	}
+	reg := w.Metrics()
+	check := func(name string, want uint64) {
+		t.Helper()
+		got, ok := reg.Value(name)
+		if !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+		if uint64(got) != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if stops == 0 || refills == 0 {
+		t.Fatalf("workload exercised nothing: %d stops, %d refills", stops, refills)
+	}
+	check("stw_stops", stops)
+	check("stw_pause_ns", stopNs)
+	check("cache_refills", refills)
+	check("cache_refill_slots", refillSlots)
+	check("cache_flush_slots", flushSlots)
+	if h := reg.Histogram("stop_pause_ns_hist"); h.Count() != stops || h.Sum() != stopNs {
+		t.Fatalf("stop hist count=%d sum=%d, want %d stops totalling %d ns",
+			h.Count(), h.Sum(), stops, stopNs)
+	}
 }
 
 // TestGCTraceLine checks the one-line-per-cycle text mode's shape.
@@ -393,6 +473,28 @@ func TestGCTraceLine(t *testing.T) {
 	w.Collect()
 	if buf.Len() != n {
 		t.Fatal("gctrace kept writing after SetGCTrace(nil)")
+	}
+}
+
+// TestGCTraceSummary checks the cumulative distribution line built
+// from the pause histograms: its shape, and that the quantiles it
+// prints never shrink below zero or exceed the recorded maximum.
+func TestGCTraceSummary(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1})
+	data := addData(t, w, "data", 0x2000, 4096)
+	for i := 0; i < 3; i++ {
+		churn(t, w, data, 0x2000, 32)
+		w.Collect()
+	}
+	line := w.GCTraceSummary()
+	re := regexp.MustCompile(`^gc summary: 3 cycles: mark p50 \d+\.\d{2}ms p95 \d+\.\d{2}ms max \d+\.\d{2}ms; sweep p50 \d+\.\d{2}ms p95 \d+\.\d{2}ms max \d+\.\d{2}ms; stop 0 stops p50 0\.00ms p95 0\.00ms max 0\.00ms$`)
+	if !re.MatchString(line) {
+		t.Fatalf("summary does not match: %q", line)
+	}
+	h := w.Metrics().Histogram("mark_pause_ns_hist")
+	if h.Quantile(0.5) > h.Quantile(0.95) || h.Quantile(0.95) > h.Max() {
+		t.Fatalf("quantiles disordered: p50=%d p95=%d max=%d",
+			h.Quantile(0.5), h.Quantile(0.95), h.Max())
 	}
 }
 

@@ -257,6 +257,11 @@ type CollectionStats struct {
 	// SweepDeferredBlocks is how many blocks this cycle's sweep left
 	// pending for lazy sweeping (always 0 with LazySweep off).
 	SweepDeferredBlocks int
+	// Provenance is true when the cycle recorded retention provenance
+	// (World.EnableProvenance); ProvenanceRecords is how many
+	// first-marking parent records its mark phase captured.
+	Provenance        bool
+	ProvenanceRecords uint64
 }
 
 // World is one simulated process image under garbage collection.
@@ -306,6 +311,18 @@ type World struct {
 	met        worldMetrics
 	epoch      time.Time
 	prevSteals uint64
+
+	// prov is the retention-provenance state (provenance.go): enabled
+	// turns recording on for subsequent collections, records maps each
+	// marked object to its first-marking parent as of the cycle in
+	// provCycle (rebuilt by full cycles, merged by minors), valid says
+	// the map describes a completed cycle.
+	prov struct {
+		enabled bool
+		valid   bool
+		cycle   int
+		records map[mem.Addr]mark.ParentRecord
+	}
 }
 
 // worldMetrics is the world's registry plus direct handles to every
@@ -330,6 +347,16 @@ type worldMetrics struct {
 	stwStops, stwPauseNs           *metrics.Counter
 	cacheRefills, cacheRefillSlots *metrics.Counter
 	cacheFlushSlots                *metrics.Counter
+
+	// Provenance counters: cycles that recorded, and the first-mark
+	// records they captured (running sums of CollectionStats.Provenance
+	// and .ProvenanceRecords, like the cycle counters above).
+	provCycles, provRecords *metrics.Counter
+
+	// Pause-time histograms (log₂ buckets, nanoseconds): the
+	// distribution complement to the *_pause_ns running sums. Not part
+	// of Snapshot; see Registry.Histogram.
+	markHist, sweepHist, stopHist *metrics.Histogram
 
 	// Level gauges, refreshed from the allocator and blacklist at each
 	// cycle barrier and on Metrics()/MetricsSnapshot().
@@ -363,6 +390,11 @@ func newWorldMetrics() worldMetrics {
 		cacheRefills:       reg.Counter("cache_refills"),
 		cacheRefillSlots:   reg.Counter("cache_refill_slots"),
 		cacheFlushSlots:    reg.Counter("cache_flush_slots"),
+		provCycles:         reg.Counter("provenance_cycles"),
+		provRecords:        reg.Counter("provenance_records"),
+		markHist:           reg.Histogram("mark_pause_ns_hist"),
+		sweepHist:          reg.Histogram("sweep_pause_ns_hist"),
+		stopHist:           reg.Histogram("stop_pause_ns_hist"),
 		heapBytes:          reg.Gauge("heap_bytes"),
 		liveBytes:          reg.Gauge("live_bytes"),
 		liveObjects:        reg.Gauge("live_objects"),
@@ -477,6 +509,12 @@ func (w *World) recordCycle(st CollectionStats) {
 	m.pauseNs.Add(uint64(st.Duration.Nanoseconds()))
 	m.markPauseNs.Add(uint64(st.PauseMarkNs))
 	m.sweepNs.Add(uint64(st.PauseSweepNs))
+	m.markHist.Record(uint64(st.PauseMarkNs))
+	m.sweepHist.Record(uint64(st.PauseSweepNs))
+	if st.Provenance {
+		m.provCycles.Inc()
+		m.provRecords.Add(st.ProvenanceRecords)
+	}
 	if w.par != nil {
 		s := w.par.Steals()
 		m.markSteals.Add(s - w.prevSteals)
@@ -510,6 +548,22 @@ func (w *World) writeGCTrace(st CollectionStats) {
 		fmt.Fprintf(w.gctrace, ", stop %.2fms", float64(st.PauseStopNs)/1e6)
 	}
 	fmt.Fprintln(w.gctrace)
+}
+
+// GCTraceSummary renders a one-line pause-distribution summary from
+// the world's histograms — the complement to the per-cycle gctrace
+// line, typically printed once at the end of a run:
+//
+//	gc summary: 12 cycles: mark p50 0.42ms p95 1.84ms max 2.10ms; sweep ...; stop 3 stops p50 ...
+func (w *World) GCTraceSummary() string {
+	m := &w.met
+	dist := func(h *metrics.Histogram) string {
+		return fmt.Sprintf("p50 %.2fms p95 %.2fms max %.2fms",
+			float64(h.Quantile(0.5))/1e6, float64(h.Quantile(0.95))/1e6, float64(h.Max())/1e6)
+	}
+	return fmt.Sprintf("gc summary: %d cycles: mark %s; sweep %s; stop %d stops %s",
+		m.markHist.Count(), dist(m.markHist), dist(m.sweepHist),
+		m.stopHist.Count(), dist(m.stopHist))
 }
 
 // fireHook finalises the completed collection: fold it into the
@@ -766,27 +820,21 @@ func (w *World) expandIfTight() {
 // stopped, so the sources are quiescent.
 func (w *World) markRoots() {
 	if w.mut != nil {
-		for _, r := range w.mut.Registers() {
-			if r != 0 {
-				w.Marker.MarkValue(r)
-			}
-		}
-		stackWords, _ := w.mut.LiveStack()
-		w.Marker.MarkWords(stackWords)
+		w.Marker.MarkSparseRoots(mark.RootOrigin{Kind: mark.RootRegister, Src: -1}, w.mut.Registers())
+		stackWords, stackBase := w.mut.LiveStack()
+		w.Marker.MarkRootArea(mark.RootOrigin{Kind: mark.RootStack, Src: -1, Base: stackBase}, stackWords)
 	}
-	for _, m := range w.muts {
+	for i, m := range w.muts {
 		if m.src == nil {
 			continue
 		}
-		for _, r := range m.src.Registers() {
-			if r != 0 {
-				w.Marker.MarkValue(r)
-			}
-		}
-		stackWords, _ := m.src.LiveStack()
-		w.Marker.MarkWords(stackWords)
+		w.Marker.MarkSparseRoots(mark.RootOrigin{Kind: mark.RootRegister, Src: int32(i)}, m.src.Registers())
+		stackWords, stackBase := m.src.LiveStack()
+		w.Marker.MarkRootArea(mark.RootOrigin{Kind: mark.RootStack, Src: int32(i), Base: stackBase}, stackWords)
 	}
-	w.Marker.MarkRootSegments(w.Space)
+	for i, s := range w.Space.Roots() {
+		w.Marker.MarkRootArea(mark.RootOrigin{Kind: mark.RootSegment, Src: int32(i), Base: s.Base()}, s.Words())
+	}
 }
 
 // markPhase runs one stop-the-world mark phase — serial through
@@ -799,6 +847,9 @@ func (w *World) markPhase(minor bool) (mark.Stats, int) {
 	dirty := 0
 	if w.par == nil {
 		w.Marker.Reset()
+		if w.prov.enabled {
+			w.Marker.StartRecording()
+		}
 		if minor {
 			// Rescan old objects on dirty pages first: at this point
 			// every marked object is old, so the scan is exactly the
@@ -812,6 +863,9 @@ func (w *World) markPhase(minor bool) (mark.Stats, int) {
 		w.Marker.Drain()
 		return w.Marker.Stats(), dirty
 	}
+	if w.prov.enabled {
+		w.par.StartRecording()
+	}
 	if minor {
 		w.Heap.DirtyBlocks(func(bi int) {
 			dirty++
@@ -819,20 +873,20 @@ func (w *World) markPhase(minor bool) (mark.Stats, int) {
 		})
 	}
 	if w.mut != nil {
-		w.par.AddSparseRoots(w.mut.Registers())
-		stackWords, _ := w.mut.LiveStack()
-		w.par.AddRoots(stackWords)
+		w.par.AddSparseRootsOrigin(mark.RootOrigin{Kind: mark.RootRegister, Src: -1}, w.mut.Registers())
+		stackWords, stackBase := w.mut.LiveStack()
+		w.par.AddRootsOrigin(mark.RootOrigin{Kind: mark.RootStack, Src: -1, Base: stackBase}, stackWords)
 	}
-	for _, m := range w.muts {
+	for i, m := range w.muts {
 		if m.src == nil {
 			continue
 		}
-		w.par.AddSparseRoots(m.src.Registers())
-		stackWords, _ := m.src.LiveStack()
-		w.par.AddRoots(stackWords)
+		w.par.AddSparseRootsOrigin(mark.RootOrigin{Kind: mark.RootRegister, Src: int32(i)}, m.src.Registers())
+		stackWords, stackBase := m.src.LiveStack()
+		w.par.AddRootsOrigin(mark.RootOrigin{Kind: mark.RootStack, Src: int32(i), Base: stackBase}, stackWords)
 	}
-	for _, s := range w.Space.Roots() {
-		w.par.AddRoots(s.Words())
+	for i, s := range w.Space.Roots() {
+		w.par.AddRootsOrigin(mark.RootOrigin{Kind: mark.RootSegment, Src: int32(i), Base: s.Base()}, s.Words())
 	}
 	return w.par.Run(), dirty
 }
@@ -911,6 +965,7 @@ func (w *World) collectLocked() CollectionStats {
 	w.collections++
 	w.minorsSinceFull = 0
 	w.Heap.ClearDirty()
+	provRecs := w.harvestProvenance(0)
 	w.last = CollectionStats{
 		Mark:                mstats,
 		Sweep:               sweep,
@@ -921,6 +976,8 @@ func (w *World) collectLocked() CollectionStats {
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
 		PauseStopNs:         w.lastStopNs,
 		SweepDeferredBlocks: w.Heap.SweepPending(),
+		Provenance:          w.prov.enabled,
+		ProvenanceRecords:   provRecs,
 	}
 	w.traceCycleEnd(w.last)
 	w.fireHook()
@@ -1019,6 +1076,7 @@ func (w *World) collectMinorLocked() CollectionStats {
 	}
 	w.collections++
 	w.minorsSinceFull++
+	provRecs := w.harvestProvenance(1)
 	w.last = CollectionStats{
 		Mark:                mstats,
 		Sweep:               sweep,
@@ -1032,6 +1090,8 @@ func (w *World) collectMinorLocked() CollectionStats {
 		PauseSweepNs:        pauseSweep.Nanoseconds(),
 		PauseStopNs:         w.lastStopNs,
 		SweepDeferredBlocks: w.Heap.SweepPending(),
+		Provenance:          w.prov.enabled,
+		ProvenanceRecords:   provRecs,
 	}
 	w.traceCycleEnd(w.last)
 	w.fireHook()
@@ -1058,6 +1118,9 @@ func (w *World) MarkOnly() (objects, bytes uint64) {
 	w.traceMarkEnd(mstats)
 	objects, bytes = w.Heap.CountMarked()
 	w.Heap.ClearMarks()
+	// The measurement's marks are gone, so any provenance it recorded
+	// describes nothing; drop it rather than harvesting.
+	w.discardRecording()
 	return objects, bytes
 }
 

@@ -1,0 +1,197 @@
+package inspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mark"
+	"repro/internal/mem"
+)
+
+// Renderers for the retention-provenance subsystem: "why is this
+// object live?" paths, retention reports, and the JSON heap-snapshot
+// export behind cmd/heapdump -snapshot.
+
+// describeSlot names a record's referencing location.
+func describeSlot(r mark.ParentRecord) string {
+	switch r.Kind {
+	case mark.RootNone:
+		if r.Parent == 0 {
+			return "(unattributed root)"
+		}
+		return fmt.Sprintf("%#08x field %d (@%#08x)",
+			uint32(r.Parent), r.Index, uint32(r.Parent)+uint32(r.Index)*mem.WordBytes)
+	case mark.RootRegister:
+		return fmt.Sprintf("register %d (%s)", r.Index, srcName(r.Src))
+	default: // stack, segment
+		return fmt.Sprintf("%s word %d (%s, @%#08x)", r.Kind, r.Index, srcName(r.Src), uint32(r.Parent))
+	}
+}
+
+func srcName(src int32) string {
+	if src < 0 {
+		return "world"
+	}
+	return fmt.Sprintf("src %d", src)
+}
+
+// refNote annotates a record's reference classification.
+func refNote(r mark.ParentRecord) string {
+	note := r.Ref.String()
+	if r.Declared {
+		note += ", declared"
+	}
+	if r.Off != 0 {
+		note += fmt.Sprintf(", byte offset %d", r.Off)
+	}
+	return note
+}
+
+// WhyLivePath renders a World.WhyLive chain root-first: the first line
+// is the root slot that ultimately retains the object, each following
+// line one heap hop, the last line the object itself.
+func WhyLivePath(addr mem.Addr, path []mark.ParentRecord) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "why live: %#08x (%d hops)\n", uint32(addr), len(path))
+	for i := len(path) - 1; i >= 0; i-- {
+		r := path[i]
+		fmt.Fprintf(&sb, "  %s holds %#08x [%s] -> %#08x\n",
+			describeSlot(r), uint32(r.Value), refNote(r), uint32(r.Obj))
+	}
+	return sb.String()
+}
+
+// RetentionText renders a retention report as text: the headline
+// genuine/spurious split, the per-size and per-label breakdowns, and
+// the sole-retention ranking.
+func RetentionText(rep core.RetentionReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "retention: %d objects live (%d B)", rep.LiveObjects, rep.LiveBytes)
+	if rep.CensoredRoots > 0 {
+		fmt.Fprintf(&sb, ": %d genuine (%d B), %d spurious (%d B) with %d declared false root(s) censored",
+			rep.GenuineObjects, rep.GenuineBytes, rep.SpuriousObjects, rep.SpuriousBytes, rep.CensoredRoots)
+	}
+	sb.WriteByte('\n')
+	if len(rep.BySize) > 0 {
+		sb.WriteString("by size class:\n")
+		for _, sc := range rep.BySize {
+			fmt.Fprintf(&sb, "  %4d words: %6d live (%d B)", sc.Words, sc.LiveObjects, sc.LiveBytes)
+			if sc.SpuriousObjects > 0 {
+				fmt.Fprintf(&sb, ", %d spurious (%d B)", sc.SpuriousObjects, sc.SpuriousBytes)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if len(rep.ByLabel) > 0 {
+		sb.WriteString("by label:\n")
+		for _, lc := range rep.ByLabel {
+			fmt.Fprintf(&sb, "  %-16s %6d live (%d B)", lc.Label, lc.LiveObjects, lc.LiveBytes)
+			if lc.SpuriousObjects > 0 {
+				fmt.Fprintf(&sb, ", %d spurious (%d B)", lc.SpuriousObjects, lc.SpuriousBytes)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if len(rep.SoleRetainers) > 0 {
+		fmt.Fprintf(&sb, "top sole retainers (%d root slots analysed):\n", rep.RootSlots)
+		for i, rr := range rep.SoleRetainers {
+			fmt.Fprintf(&sb, "  %2d. %s holds %#08x [%s]: %d objects, %d B\n",
+				i+1, rr.Slot, uint32(rr.Value), rr.Ref, rr.Objects, rr.Bytes)
+		}
+	}
+	return sb.String()
+}
+
+// JSON export forms: lower-case stable field names, symbolic kinds.
+
+type jsonSnapshotObject struct {
+	Addr   uint32 `json:"addr"`
+	Words  int    `json:"words"`
+	Atomic bool   `json:"atomic,omitempty"`
+	Marked bool   `json:"marked,omitempty"`
+	Label  string `json:"label,omitempty"`
+}
+
+type jsonSnapshotEdge struct {
+	Src      uint32 `json:"src"`
+	Index    int    `json:"index"`
+	Dst      uint32 `json:"dst"`
+	Interior bool   `json:"interior,omitempty"`
+}
+
+type jsonProvenanceRecord struct {
+	Obj      uint32 `json:"obj"`
+	Parent   uint32 `json:"parent"`
+	Value    uint32 `json:"value"`
+	Kind     string `json:"kind"`
+	Ref      string `json:"ref"`
+	Declared bool   `json:"declared,omitempty"`
+	Off      uint8  `json:"off,omitempty"`
+	Index    int32  `json:"index"`
+	Src      int32  `json:"src"`
+}
+
+type jsonBlacklist struct {
+	Pages int    `json:"pages"`
+	Adds  uint64 `json:"adds"`
+	Hits  uint64 `json:"hits"`
+}
+
+type jsonSnapshot struct {
+	HeapBase        uint32                 `json:"heap_base"`
+	HeapBytes       int                    `json:"heap_bytes"`
+	Collections     int                    `json:"collections"`
+	ProvenanceValid bool                   `json:"provenance_valid"`
+	ProvenanceCycle int                    `json:"provenance_cycle"`
+	Objects         []jsonSnapshotObject   `json:"objects"`
+	Edges           []jsonSnapshotEdge     `json:"edges"`
+	Provenance      []jsonProvenanceRecord `json:"provenance"`
+	Blacklist       jsonBlacklist          `json:"blacklist"`
+}
+
+// WriteHeapSnapshot exports a World.BuildHeapSnapshot result as one
+// indented JSON document.
+func WriteHeapSnapshot(w io.Writer, snap core.HeapSnapshot) error {
+	doc := jsonSnapshot{
+		HeapBase:        uint32(snap.HeapBase),
+		HeapBytes:       snap.HeapBytes,
+		Collections:     snap.Collections,
+		ProvenanceValid: snap.ProvenanceValid,
+		ProvenanceCycle: snap.ProvenanceCycle,
+		Objects:         []jsonSnapshotObject{},
+		Edges:           []jsonSnapshotEdge{},
+		Provenance:      []jsonProvenanceRecord{},
+		Blacklist: jsonBlacklist{
+			Pages: snap.Blacklist.Pages,
+			Adds:  snap.Blacklist.Adds,
+			Hits:  snap.Blacklist.Hits,
+		},
+	}
+	for _, o := range snap.Objects {
+		doc.Objects = append(doc.Objects, jsonSnapshotObject{
+			Addr: uint32(o.Addr), Words: o.Words, Atomic: o.Atomic, Marked: o.Marked, Label: o.Label,
+		})
+	}
+	for _, e := range snap.Edges {
+		doc.Edges = append(doc.Edges, jsonSnapshotEdge{
+			Src: uint32(e.Src), Index: e.Index, Dst: uint32(e.Dst), Interior: e.Interior,
+		})
+	}
+	for _, r := range snap.Provenance {
+		doc.Provenance = append(doc.Provenance, jsonProvenanceRecord{
+			Obj: uint32(r.Obj), Parent: uint32(r.Parent), Value: uint32(r.Value),
+			Kind: r.Kind.String(), Ref: r.Ref.String(),
+			Declared: r.Declared, Off: r.Off, Index: r.Index, Src: r.Src,
+		})
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,262 @@
+package inspect
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mark"
+	"repro/internal/mem"
+)
+
+func TestWhyLivePathRendering(t *testing.T) {
+	// A two-hop chain: root segment slot -> parent object -> object.
+	path := []mark.ParentRecord{
+		{Obj: 0x400010, Parent: 0x400000, Value: 0x400011, Kind: mark.RootNone,
+			Ref: mark.RefInterior, Index: 1},
+		{Obj: 0x400000, Parent: 0x2004, Value: 0x400000, Kind: mark.RootSegment,
+			Ref: mark.RefExact, Index: 1, Src: 0},
+	}
+	out := WhyLivePath(0x400010, path)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 hops, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "why live: 0x00400010") || !strings.Contains(lines[0], "2 hops") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Root-first: the segment slot renders before the heap hop.
+	if !strings.Contains(lines[1], "segment word 1") || !strings.Contains(lines[1], "@0x00002004") {
+		t.Fatalf("root line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "field 1") || !strings.Contains(lines[2], "interior") {
+		t.Fatalf("heap hop line = %q", lines[2])
+	}
+}
+
+func TestWhyLivePathRegisterAndUnaligned(t *testing.T) {
+	path := []mark.ParentRecord{
+		{Obj: 0x400000, Value: 0x400002, Kind: mark.RootRegister,
+			Ref: mark.RefUnaligned, Index: 5, Src: 2, Off: 2},
+	}
+	out := WhyLivePath(0x400000, path)
+	for _, want := range []string{"register 5", "src 2", "unaligned", "byte offset 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRetentionTextRendering(t *testing.T) {
+	rep := core.RetentionReport{
+		LiveObjects: 100, LiveBytes: 800,
+		GenuineObjects: 40, GenuineBytes: 320,
+		SpuriousObjects: 60, SpuriousBytes: 480,
+		CensoredRoots: 1, RootSlots: 3,
+		BySize: []core.SizeClassRetention{
+			{Words: 2, LiveObjects: 100, LiveBytes: 800, SpuriousObjects: 60, SpuriousBytes: 480},
+		},
+		ByLabel: []core.LabelRetention{
+			{Label: "stream", LiveObjects: 100, LiveBytes: 800, SpuriousObjects: 60, SpuriousBytes: 480},
+		},
+		SoleRetainers: []core.RootRetention{
+			{Slot: core.RootSlotID{Kind: mark.RootStack, Src: -1, Index: 0, Addr: 0xfffe0},
+				Value: 0x400000, Ref: mark.RefExact, Objects: 60, Bytes: 480},
+		},
+	}
+	out := RetentionText(rep)
+	for _, want := range []string{
+		"100 objects live (800 B)",
+		"40 genuine (320 B)",
+		"60 spurious (480 B)",
+		"1 declared false root(s) censored",
+		"by size class:",
+		"2 words:",
+		"by label:",
+		"stream",
+		"top sole retainers (3 root slots analysed):",
+		"stack[world+0] @0xfffe0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRetentionTextNoCensoring(t *testing.T) {
+	out := RetentionText(core.RetentionReport{LiveObjects: 5, LiveBytes: 40})
+	if strings.Contains(out, "genuine") || strings.Contains(out, "censored") {
+		t.Fatalf("undeclared report should not mention censoring:\n%s", out)
+	}
+	if !strings.Contains(out, "5 objects live (40 B)") {
+		t.Fatalf("headline missing:\n%s", out)
+	}
+}
+
+// TestWriteHeapSnapshotJSON exports a real lazy-sweep world with
+// provenance and checks the JSON document's shape and symbolic kinds.
+func TestWriteHeapSnapshotJSON(t *testing.T) {
+	w, err := core.NewWorld(nil, core.Config{
+		InitialHeapBytes: 64 * 1024, ReserveHeapBytes: 1 << 20,
+		GCDivisor: -1, LazySweep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.Space.MapNew("d", mem.KindData, 0x2000, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.Allocate(2, false)
+	b, _ := w.Allocate(2, false)
+	w.Store(a, mem.Word(b)) // heap edge a[0] -> b
+	data.Store(0x2000, mem.Word(a))
+	w.EnableProvenance(true)
+	w.Collect() // deferred sweeps left pending on purpose
+
+	var buf bytes.Buffer
+	snap := w.BuildHeapSnapshot(func(mem.Addr) string { return "pair" })
+	if err := WriteHeapSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		HeapBase        uint32 `json:"heap_base"`
+		Collections     int    `json:"collections"`
+		ProvenanceValid bool   `json:"provenance_valid"`
+		Objects         []struct {
+			Addr  uint32 `json:"addr"`
+			Words int    `json:"words"`
+			Label string `json:"label"`
+		} `json:"objects"`
+		Edges []struct {
+			Src uint32 `json:"src"`
+			Dst uint32 `json:"dst"`
+		} `json:"edges"`
+		Provenance []struct {
+			Obj  uint32 `json:"obj"`
+			Kind string `json:"kind"`
+			Ref  string `json:"ref"`
+		} `json:"provenance"`
+		Blacklist map[string]any `json:"blacklist"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !doc.ProvenanceValid || doc.Collections != 1 {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Objects) != 2 || doc.Objects[0].Label != "pair" {
+		t.Fatalf("objects = %+v", doc.Objects)
+	}
+	foundEdge := false
+	for _, e := range doc.Edges {
+		if e.Src == uint32(a) && e.Dst == uint32(b) {
+			foundEdge = true
+		}
+	}
+	if !foundEdge {
+		t.Fatalf("edge %#x -> %#x missing: %+v", uint32(a), uint32(b), doc.Edges)
+	}
+	if len(doc.Provenance) != 2 {
+		t.Fatalf("provenance = %+v", doc.Provenance)
+	}
+	kinds := map[string]bool{}
+	for _, r := range doc.Provenance {
+		kinds[r.Kind] = true
+		if r.Ref != "exact" {
+			t.Fatalf("ref = %q, want symbolic \"exact\"", r.Ref)
+		}
+	}
+	if !kinds["segment"] || !kinds["heap"] {
+		t.Fatalf("kinds = %v, want symbolic segment + heap", kinds)
+	}
+}
+
+// TestRenderingLazySweepWorld drives the text renderers against a
+// world with deferred sweep work still pending: the heap map and
+// summary must render the in-between state without forcing the drain.
+func TestRenderingLazySweepWorld(t *testing.T) {
+	w, err := core.NewWorld(nil, core.Config{
+		InitialHeapBytes: 64 * 1024, ReserveHeapBytes: 1 << 20,
+		Blacklisting: core.BlacklistDense, GCDivisor: -1, LazySweep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.Space.MapNew("d", mem.KindData, 0x2000, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		a, err := w.Allocate(2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			data.Store(0x2000+mem.Addr(4*(i/2)), mem.Word(a))
+		}
+	}
+	st := w.Collect()
+	if st.SweepDeferredBlocks == 0 {
+		t.Skip("workload produced no deferred blocks")
+	}
+	pendingMap := HeapMap(w.Heap, w.Blacklist, 16)
+	if !strings.Contains(pendingMap, "a") {
+		t.Fatalf("pending-sweep map lost the small blocks:\n%s", pendingMap)
+	}
+	s := Summary(w)
+	if !strings.Contains(s, "collections: 1") {
+		t.Fatalf("pending-sweep summary:\n%s", s)
+	}
+	// Draining must not change the object glyphs for surviving blocks.
+	w.FinishSweep()
+	if m := HeapMap(w.Heap, w.Blacklist, 16); !strings.Contains(m, "a") {
+		t.Fatalf("post-drain map lost the small blocks:\n%s", m)
+	}
+}
+
+// TestRenderingMutatorCachedWorld drives the renderers against a world
+// whose mutator handles still hold cached allocation runs: maps,
+// summaries and snapshots must render while slots are parked in
+// caches, and agree with the post-safepoint state afterwards.
+func TestRenderingMutatorCachedWorld(t *testing.T) {
+	w, err := core.NewWorld(nil, core.Config{
+		InitialHeapBytes: 64 * 1024, ReserveHeapBytes: 1 << 20,
+		GCDivisor: -1, LazySweep: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.Space.MapNew("d", mem.KindData, 0x2000, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.NewMutator()
+	for i := 0; i < 24; i++ {
+		if _, err := m.AllocateRooted(data, mem.Addr(0x2000+4*i), 2, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Caches hold unconsumed slots here; every renderer must cope.
+	if s := Summary(w); !strings.Contains(s, "heap:") {
+		t.Fatalf("cached-world summary:\n%s", s)
+	}
+	if hm := HeapMap(w.Heap, w.Blacklist, 16); !strings.Contains(hm, "a") {
+		t.Fatalf("cached-world map:\n%s", hm)
+	}
+	w.EnableProvenance(true)
+	m.Collect() // safepoint: flush caches, then collect recording
+	snap := w.BuildHeapSnapshot(nil)
+	if len(snap.Objects) != 24 {
+		t.Fatalf("snapshot holds %d objects, want the 24 rooted survivors", len(snap.Objects))
+	}
+	var buf bytes.Buffer
+	if err := WriteHeapSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("cached-world snapshot is not valid JSON")
+	}
+}

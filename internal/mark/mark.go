@@ -115,6 +115,14 @@ type Marker struct {
 	// tracer receives blacklist-addition events; nil (the default)
 	// disables them at the cost of one compare per false reference.
 	tracer *trace.Recorder
+	// rec enables provenance recording (provenance.go): recs collects
+	// one ParentRecord per first-mark, org tracks the scan context the
+	// current candidates come from. Off by default; every touch of org
+	// or recs is guarded by rec, so unrecorded cycles pay only
+	// predictable branches and allocate nothing.
+	rec  bool
+	recs []ParentRecord
+	org  provOrigin
 }
 
 // spillThreshold is the local mark-stack depth beyond which a parallel
@@ -183,6 +191,11 @@ func (m *Marker) MarkValue(v mem.Word) {
 	words, atomic := m.heap.ObjectSpan(base)
 	m.stats.ObjectsMarked++
 	m.stats.BytesMarked += uint64(words * mem.WordBytes)
+	if m.rec {
+		// This call set the mark bit (under parallel marking: won the
+		// CAS), so it alone records the object's first-marking parent.
+		m.recordWin(base, p, v)
+	}
 	if atomic {
 		m.stats.AtomicSkipped++
 		return
@@ -195,8 +208,15 @@ func (m *Marker) MarkValue(v mem.Word) {
 
 // MarkWords scans a word slice as a root area under the configured
 // alignment policy. The words are interpreted as big-endian for the
-// unaligned regime.
-func (m *Marker) MarkWords(words []mem.Word) { m.markWordsChunk(words, 0) }
+// unaligned regime. While recording provenance, first-marks through
+// MarkWords carry no area identity (Kind RootNone, Parent 0); use
+// MarkRootArea to attribute them.
+func (m *Marker) MarkWords(words []mem.Word) {
+	if m.rec {
+		m.org = provOrigin{}
+	}
+	m.markWordsChunk(words, 0)
+}
 
 // markWordsChunk scans words[:len(words)-tail] as root candidates; the
 // trailing tail words are straddle context only — scanned by the
@@ -207,6 +227,10 @@ func (m *Marker) MarkWords(words []mem.Word) { m.markWordsChunk(words, 0) }
 func (m *Marker) markWordsChunk(words []mem.Word, tail int) {
 	n := len(words) - tail
 	m.stats.WordsScanned += uint64(n)
+	if m.rec {
+		m.markWordsChunkRecorded(words, n)
+		return
+	}
 	for _, w := range words[:n] {
 		m.MarkValue(w)
 	}
@@ -218,6 +242,30 @@ func (m *Marker) markWordsChunk(words []mem.Word, tail int) {
 			m.MarkValue(mem.Word(hi<<8 | lo>>24))
 			m.MarkValue(mem.Word(hi<<16 | lo>>16))
 			m.MarkValue(mem.Word(hi<<24 | lo>>8))
+		}
+	}
+}
+
+// markWordsChunkRecorded is markWordsChunk's provenance-recording body:
+// the same candidates in the same order, with the origin index (and,
+// for straddles, byte offset) maintained so a first-mark records the
+// exact root word responsible.
+func (m *Marker) markWordsChunkRecorded(words []mem.Word, n int) {
+	for i, w := range words[:n] {
+		m.org.index = m.org.base + int32(i)
+		m.MarkValue(w)
+	}
+	if m.cfg.Alignment == AnyByteOffset {
+		for i := 0; i+1 < len(words); i++ {
+			hi, lo := uint32(words[i]), uint32(words[i+1])
+			m.org.index = m.org.base + int32(i)
+			m.org.off = 1
+			m.MarkValue(mem.Word(hi<<8 | lo>>24))
+			m.org.off = 2
+			m.MarkValue(mem.Word(hi<<16 | lo>>16))
+			m.org.off = 3
+			m.MarkValue(mem.Word(hi<<24 | lo>>8))
+			m.org.off = 0
 		}
 	}
 }
@@ -243,6 +291,9 @@ func (m *Marker) ScanObject(base mem.Addr) {
 	}
 	ws := m.heap.ObjectWords(base, words)
 	if kind == alloc.ScanTyped {
+		if m.rec {
+			m.org = provOrigin{kind: RootNone, area: base, declared: true}
+		}
 		// Exact layout information: only the descriptor's pointer
 		// words are candidates ("complete information on the location
 		// of pointers in the heap").
@@ -250,15 +301,24 @@ func (m *Marker) ScanObject(base mem.Addr) {
 			if desc.PointerAt(i) {
 				m.stats.FieldsScanned++
 				if w := ws[i]; w != 0 {
+					if m.rec {
+						m.org.index = int32(i)
+					}
 					m.MarkValue(w)
 				}
 			}
 		}
 		return
 	}
+	if m.rec {
+		m.org = provOrigin{kind: RootNone, area: base}
+	}
 	m.stats.FieldsScanned += uint64(words)
-	for _, w := range ws {
+	for i, w := range ws {
 		if w != 0 { // zero is never a heap address
+			if m.rec {
+				m.org.index = int32(i)
+			}
 			m.MarkValue(w)
 		}
 	}

@@ -79,6 +79,11 @@ type task struct {
 	tail  int // taskRoots: trailing straddle-context words
 	addrs []mem.Addr
 	block int // taskDirty: block index
+	// org and off attribute the chunk for provenance recording:
+	// the root area's identity and the index of words[0] within it.
+	// Ignored (zero) when the cycle does not record.
+	org RootOrigin
+	off int32
 }
 
 // taskQueue is the shared overflow/work queue. A mutex-guarded LIFO is
@@ -230,6 +235,13 @@ func (p *Parallel) EachWorkerStats(fn func(i int, s Stats)) {
 // balancing. Under the unaligned regime each chunk carries one word of
 // straddle context so chunk boundaries hide no candidates.
 func (p *Parallel) AddRoots(words []mem.Word) {
+	p.AddRootsOrigin(RootOrigin{}, words)
+}
+
+// AddRootsOrigin is AddRoots with the area's provenance identity, so a
+// recording cycle can attribute first-marks to the exact root word even
+// when the area is split across workers.
+func (p *Parallel) AddRootsOrigin(org RootOrigin, words []mem.Word) {
 	overlap := 0
 	if p.cfg.Alignment == AnyByteOffset {
 		overlap = 1
@@ -241,7 +253,10 @@ func (p *Parallel) AddRoots(words []mem.Word) {
 			hi = len(words)
 			tail = 0
 		}
-		p.staged = append(p.staged, task{kind: taskRoots, words: words[lo : hi+tail], tail: tail})
+		p.staged = append(p.staged, task{
+			kind: taskRoots, words: words[lo : hi+tail], tail: tail,
+			org: org, off: int32(lo),
+		})
 	}
 }
 
@@ -249,9 +264,39 @@ func (p *Parallel) AddRoots(words []mem.Word) {
 // individual candidates, with no word-count or straddle accounting,
 // mirroring the serial collector's register scan.
 func (p *Parallel) AddSparseRoots(words []mem.Word) {
+	p.AddSparseRootsOrigin(RootOrigin{}, words)
+}
+
+// AddSparseRootsOrigin is AddSparseRoots with the register file's
+// provenance identity.
+func (p *Parallel) AddSparseRootsOrigin(org RootOrigin, words []mem.Word) {
 	if len(words) > 0 {
-		p.staged = append(p.staged, task{kind: taskSparse, words: words})
+		p.staged = append(p.staged, task{kind: taskSparse, words: words, org: org})
 	}
+}
+
+// StartRecording begins provenance recording on every worker for the
+// next Run. The mark-bit CAS admits exactly one winner per object, and
+// only the winner appends a record, so the merged set is duplicate-free
+// without further synchronisation.
+func (p *Parallel) StartRecording() {
+	for _, w := range p.workers {
+		w.m.StartRecording()
+	}
+}
+
+// Recording reports whether the workers are recording provenance.
+func (p *Parallel) Recording() bool { return p.workers[0].m.Recording() }
+
+// StopRecording ends recording and returns every worker's records,
+// merged (order is worker-major and otherwise unspecified; each marked
+// object appears exactly once).
+func (p *Parallel) StopRecording() []ParentRecord {
+	var out []ParentRecord
+	for _, w := range p.workers {
+		out = append(out, w.m.StopRecording()...)
+	}
+	return out
 }
 
 // AddDirtyBlock stages a minor-cycle rescan of the marked objects in
@@ -351,13 +396,9 @@ func (p *Parallel) goIdle() (done bool) {
 func (p *Parallel) process(w *worker, t task) {
 	switch t.kind {
 	case taskRoots:
-		w.m.markWordsChunk(t.words, t.tail)
+		w.m.markRootChunk(t.org, t.off, t.words, t.tail)
 	case taskSparse:
-		for _, v := range t.words {
-			if v != 0 {
-				w.m.MarkValue(v)
-			}
-		}
+		w.m.MarkSparseRoots(t.org, t.words)
 	case taskGray:
 		w.m.stack = append(w.m.stack, t.addrs...)
 	case taskDirty:

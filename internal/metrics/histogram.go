@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds values whose
+// bit length is i, i.e. [2^(i-1), 2^i), with bucket 0 holding zero.
+// 40 buckets cover pause times up to ~9 minutes in nanoseconds;
+// larger values clamp into the last bucket.
+const histBuckets = 40
+
+// Histogram is a fixed-size log₂-bucketed histogram for pause-time
+// distributions: Record is a handful of lock-free atomic adds with no
+// allocation, so the collector can feed it from inside a pause without
+// perturbing the zero-alloc guarantee. A nil *Histogram no-ops, like
+// the other metric kinds.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	b := bits.Len64(v)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Buckets returns a copy of the bucket counts: index i counts values
+// in [2^(i-1), 2^i) (index 0: zeros; the last bucket also holds any
+// clamped larger values).
+func (h *Histogram) Buckets() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, histBuckets)
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketUpperBound returns bucket i's exclusive upper bound.
+func BucketUpperBound(i int) uint64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return uint64(1) << uint(i)
+}
+
+// Quantile returns an upper bound for the q-quantile observation
+// (0 <= q <= 1): the upper bound of the log₂ bucket holding it,
+// tightened by the recorded maximum. Concurrent Records may skew a
+// snapshot by the in-flight observations; for the post-hoc summaries
+// this backs, that imprecision is irrelevant.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			ub := BucketUpperBound(i) - 1
+			if m := h.Max(); ub > m {
+				ub = m
+			}
+			return ub
+		}
+	}
+	return h.Max()
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use. Histograms live in their own namespace and are not
+// part of Snapshot (whose samples are scalar by design); enumerate
+// them with HistogramNames.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	r.horder = append(r.horder, name)
+	return h
+}
+
+// HistogramNames returns the registered histogram names in
+// registration order.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.horder))
+	copy(out, r.horder)
+	return out
+}

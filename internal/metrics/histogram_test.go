@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// One value per bucket boundary region: 0 → bucket 0, 1 → bucket 1,
+	// [2,3] → bucket 2, [4,7] → bucket 3, ...
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+		{math.MaxUint64, histBuckets - 1}, // clamped
+	}
+	for _, c := range cases {
+		h.Record(c.v)
+	}
+	got := h.Buckets()
+	want := make([]uint64, histBuckets)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	var sum uint64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if h.Sum() != sum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), sum)
+	}
+	if h.Max() != math.MaxUint64 {
+		t.Fatalf("max = %d, want MaxUint64", h.Max())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 9 values of 100 and 1 of 100000: the p50 bound must cover 100's
+	// bucket but not 100000's, p99/p100 must be capped by the max.
+	for i := 0; i < 9; i++ {
+		h.Record(100)
+	}
+	h.Record(100000)
+	p50 := h.Quantile(0.5)
+	if p50 < 100 || p50 >= 128 {
+		t.Fatalf("p50 = %d, want within 100's bucket [100,128)", p50)
+	}
+	if got := h.Quantile(1.0); got != 100000 {
+		t.Fatalf("p100 = %d, want the max 100000", got)
+	}
+	if got := h.Quantile(0); got != h.Quantile(0.0001) {
+		t.Fatalf("q=0 (%d) must behave like the first observation (%d)", got, h.Quantile(0.0001))
+	}
+	// Out-of-range q clamps instead of panicking.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("out-of-range quantiles do not clamp")
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(42) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Buckets() != nil {
+		t.Fatal("nil histogram reports observations")
+	}
+	var r *Registry
+	if r.Histogram("x") != nil || r.HistogramNames() != nil {
+		t.Fatal("nil registry returned a histogram")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(uint64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if h.Max() != goroutines*per-1 {
+		t.Fatalf("max = %d, want %d", h.Max(), goroutines*per-1)
+	}
+	var total uint64
+	for _, b := range h.Buckets() {
+		total += b
+	}
+	if total != goroutines*per {
+		t.Fatalf("bucket total = %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	avg := testing.AllocsPerRun(100, func() { h.Record(12345) })
+	if avg != 0 {
+		t.Fatalf("Record allocates %v times, want 0", avg)
+	}
+}
+
+func TestRegistryHistogramNamespace(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("mark_hist")
+	if b := r.Histogram("mark_hist"); a != b {
+		t.Fatal("same name returned distinct histograms")
+	}
+	r.Histogram("sweep_hist")
+	names := r.HistogramNames()
+	if len(names) != 2 || names[0] != "mark_hist" || names[1] != "sweep_hist" {
+		t.Fatalf("names = %v, want registration order", names)
+	}
+	// Histograms stay out of the scalar snapshot: its shape is stable
+	// for scrapers that predate them.
+	for _, s := range r.Snapshot() {
+		if s.Name == "mark_hist" || s.Name == "sweep_hist" {
+			t.Fatalf("histogram %q leaked into the scalar snapshot", s.Name)
+		}
+	}
+	a.Record(7)
+	if a.Count() != 1 {
+		t.Fatal("registered histogram does not record")
+	}
+}

@@ -83,6 +83,10 @@ type Registry struct {
 	order    []string
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	// Histograms (histogram.go) keep their own namespace and ordering:
+	// Snapshot stays scalar-only, so its shape is stable for scrapers.
+	hists  map[string]*Histogram
+	horder []string
 }
 
 // NewRegistry creates an empty registry.

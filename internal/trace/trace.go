@@ -96,6 +96,14 @@ const (
 	// (class, +NumClasses when atomic), A1 slots carved, A2 object
 	// words per slot.
 	EvCacheRefill
+	// EvProvenance records the harvest of a provenance-recording mark
+	// phase. A0 first-mark records captured this cycle, A1 total records
+	// now held (after a minor-cycle merge), A2 cycle kind.
+	EvProvenance
+	// EvRetention records a retention report. A0 live objects, A1
+	// objects attributed as spuriously retained, A2 root slots analysed
+	// for sole retention.
+	EvRetention
 
 	numKinds // sentinel: keep last
 )
@@ -118,6 +126,8 @@ var kindNames = [numKinds]string{
 	EvIncStep:        "inc_step",
 	EvSafepoint:      "safepoint",
 	EvCacheRefill:    "cache_refill",
+	EvProvenance:     "provenance",
+	EvRetention:      "retention",
 }
 
 func (k Kind) String() string {

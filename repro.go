@@ -28,6 +28,8 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/alloc"
 	"repro/internal/blacklist"
 	"repro/internal/core"
@@ -215,6 +217,8 @@ type (
 	Queue = workload.Queue
 	// LazyStream is the section-4 memoising stream.
 	LazyStream = workload.LazyStream
+	// LazyStreamResult reports a lazy-stream false-reference run.
+	LazyStreamResult = workload.LazyStreamResult
 )
 
 // Workload constants and constructors.
@@ -229,6 +233,7 @@ const (
 var (
 	RunProgramT    = workload.RunProgramT
 	RunReversal    = workload.RunReversal
+	RunLazyStream  = workload.RunLazyStream
 	BuildGrid      = workload.BuildGrid
 	NewQueue       = workload.NewQueue
 	NewLazyStream  = workload.NewLazyStream
@@ -251,7 +256,68 @@ type (
 	MetricsRegistry = metrics.Registry
 	// MetricSample is one metric's name, kind and value in a snapshot.
 	MetricSample = metrics.Sample
+	// Histogram is a log₂-bucketed pause-time distribution, returned by
+	// MetricsRegistry.Histogram.
+	Histogram = metrics.Histogram
 )
+
+// Retention-provenance types (DESIGN.md section 5e). Enable recording
+// with World.EnableProvenance(true), collect, then ask World.WhyLive /
+// World.GetRetentionReport / World.BuildHeapSnapshot.
+type (
+	// ParentRecord is one first-marking provenance record.
+	ParentRecord = mark.ParentRecord
+	// RootKind classifies a record's origin (register/stack/segment/heap).
+	RootKind = mark.RootKind
+	// RefKind classifies the referencing word (exact/interior/unaligned).
+	RefKind = mark.RefKind
+	// RetentionOptions parameterises World.GetRetentionReport.
+	RetentionOptions = core.RetentionOptions
+	// RetentionReport is the genuine-versus-spurious attribution.
+	RetentionReport = core.RetentionReport
+	// RootRetention is one root slot's sole-retention entry.
+	RootRetention = core.RootRetention
+	// RootSlotID names one root slot.
+	RootSlotID = core.RootSlotID
+	// SizeClassRetention is the per-object-size breakdown row.
+	SizeClassRetention = core.SizeClassRetention
+	// LabelRetention is the per-label breakdown row.
+	LabelRetention = core.LabelRetention
+	// HeapSnapshot is World.BuildHeapSnapshot's export.
+	HeapSnapshot = core.HeapSnapshot
+	// SnapshotObject is one object in a heap snapshot.
+	SnapshotObject = core.SnapshotObject
+	// SnapshotEdge is one heap→heap reference in a snapshot.
+	SnapshotEdge = core.SnapshotEdge
+)
+
+// Root kinds (ParentRecord.Kind).
+const (
+	RootNone     = mark.RootNone
+	RootRegister = mark.RootRegister
+	RootStack    = mark.RootStack
+	RootSegment  = mark.RootSegment
+)
+
+// Reference kinds (ParentRecord.Ref).
+const (
+	RefExact     = mark.RefExact
+	RefInterior  = mark.RefInterior
+	RefUnaligned = mark.RefUnaligned
+)
+
+// WhyLivePath renders a World.WhyLive chain root-first as text.
+func WhyLivePath(addr Addr, path []ParentRecord) string {
+	return inspect.WhyLivePath(addr, path)
+}
+
+// RetentionText renders a retention report as text.
+func RetentionText(rep RetentionReport) string { return inspect.RetentionText(rep) }
+
+// WriteHeapSnapshot exports a heap snapshot as indented JSON.
+func WriteHeapSnapshot(out io.Writer, snap HeapSnapshot) error {
+	return inspect.WriteHeapSnapshot(out, snap)
+}
 
 // NewTraceRecorder creates a trace ring buffer holding up to capacity
 // events (<= 0 selects the default capacity).
