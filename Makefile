@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench mutbench retentionbench soak benchgate heapdump-smoke fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench soak benchgate heapdump-smoke fuzz-smoke
 
 ci: fmt vet build test race
 
@@ -31,9 +31,11 @@ bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
 
 # One-iteration pass over every benchmark in the repo: catches bit-rot
-# in benchmark code without waiting for real measurements.
+# in benchmark code without waiting for real measurements. The tiny
+# allocbench run smokes the free-list-vs-line-heap driver the same way.
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/gcbench -experiment allocbench -mutators 1,2 > /dev/null
 
 # Regenerates BENCH_1.json (parallel mark scaling, machine-readable).
 # Worker counts above GOMAXPROCS are measured but flagged
@@ -60,6 +62,12 @@ mutbench:
 retentionbench:
 	$(GO) run ./cmd/gcbench -experiment retention -benchjson BENCH_4.json
 
+# Regenerates BENCH_5.json (free-list vs line-heap allocation profiles,
+# single and 8-mutator). Object counts are exact invariants in both
+# profiles; the line rows also carry the line-waste space accounting.
+allocbench:
+	$(GO) run ./cmd/gcbench -experiment allocbench -mutators 1,8 -benchjson BENCH_5.json
+
 # Multi-mutator soak: many allocation/collection rounds against one
 # generational + lazy-sweep world, with a full allocator integrity
 # audit after every round. Not part of `make ci`; run it when touching
@@ -79,6 +87,7 @@ benchgate:
 	$(GO) run ./cmd/benchgate -baseline BENCH_2.json -tolerance $(BENCHGATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_3.json -tolerance $(BENCHGATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_4.json -tolerance $(BENCHGATE_TOLERANCE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_5.json -tolerance $(BENCHGATE_TOLERANCE)
 
 # Self-checking retention demo: plant a false stack reference retaining
 # a lazy stream (paper, section 4) and assert that the retention report
@@ -96,3 +105,4 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz '^FuzzMarkValue$$' -fuzztime $(FUZZTIME) ./internal/mark
 	$(GO) test -run XXX -fuzz '^FuzzMarkWords$$' -fuzztime $(FUZZTIME) ./internal/mark
 	$(GO) test -run XXX -fuzz '^FuzzConcurrentAlloc$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run XXX -fuzz '^FuzzLineAlloc$$' -fuzztime $(FUZZTIME) ./internal/core

@@ -39,10 +39,14 @@ var (
 	tolerance     = flag.Float64("tolerance", 2.0, "allowed candidate/baseline ratio for timing metrics")
 )
 
-// Check is one metric comparison in the report.
+// Check is one metric comparison in the report. Kind "time-advisory"
+// marks a timing comparison whose two sides ran under different
+// GOMAXPROCS: the numbers are reported for the record but never gated,
+// because wall-clock comparisons across scheduler widths measure the
+// machine, not the collector.
 type Check struct {
 	Name      string  `json:"name"`
-	Kind      string  `json:"kind"` // "time" | "invariant"
+	Kind      string  `json:"kind"` // "time" | "time-advisory" | "invariant"
 	Baseline  float64 `json:"baseline"`
 	Candidate float64 `json:"candidate"`
 	// Limit is the largest candidate value that passes (baseline *
@@ -66,6 +70,30 @@ func (r *Report) timeCheck(name string, base, cand float64) {
 		Baseline: base, Candidate: cand, Limit: limit,
 		Pass: cand <= limit,
 	})
+}
+
+// timeCheckGMP gates a timing metric like timeCheck unless the
+// baseline and candidate rows ran under different GOMAXPROCS, in which
+// case the comparison is downgraded to advisory (always passing).
+func (r *Report) timeCheckGMP(name string, base, cand float64, baseGMP, candGMP int) {
+	if baseGMP != candGMP {
+		r.Checks = append(r.Checks, Check{
+			Name: name, Kind: "time-advisory",
+			Baseline: base, Candidate: cand, Limit: 0, Pass: true,
+		})
+		return
+	}
+	r.timeCheck(name, base, cand)
+}
+
+// effGMP resolves a row's effective GOMAXPROCS: the per-row value when
+// recorded, else the result-level one (baselines predating per-row
+// recording carry 0 in every row).
+func effGMP(row, result int) int {
+	if row > 0 {
+		return row
+	}
+	return result
 }
 
 func (r *Report) invariantCheck(name string, base, cand float64) {
@@ -110,7 +138,8 @@ func CompareMark(base, cand *repro.MarkBenchResult, tol float64) *Report {
 		rep.invariantCheck(name+"/objects_marked",
 			float64(b.ObjectsMarked), float64(c.ObjectsMarked))
 		if !b.Oversubscribed && !c.Oversubscribed {
-			rep.timeCheck(name+"/ns_per_mark", b.NsPerMark, c.NsPerMark)
+			rep.timeCheckGMP(name+"/ns_per_mark", b.NsPerMark, c.NsPerMark,
+				effGMP(b.GoMaxProcs, base.GoMaxProcs), effGMP(c.GoMaxProcs, cand.GoMaxProcs))
 		}
 	}
 	return rep.finish()
@@ -141,12 +170,14 @@ func CompareSweep(base, cand *repro.SweepBenchResult, tol float64) *Report {
 			float64(b.BytesFreed), float64(c.BytesFreed))
 		rep.invariantCheck(b.Mode+"/deferred_blocks",
 			float64(b.DeferredBlocks), float64(c.DeferredBlocks))
-		rep.timeCheck(b.Mode+"/avg_pause_ns", b.AvgPauseNs, c.AvgPauseNs)
-		rep.timeCheck(b.Mode+"/max_pause_ns",
-			float64(b.MaxPauseNs), float64(c.MaxPauseNs))
-		rep.timeCheck(b.Mode+"/avg_sweep_pause_ns", b.AvgSweepPauseNs, c.AvgSweepPauseNs)
-		rep.timeCheck(b.Mode+"/max_sweep_pause_ns",
-			float64(b.MaxSweepPauseNs), float64(c.MaxSweepPauseNs))
+		bg := effGMP(b.GoMaxProcs, base.GoMaxProcs)
+		cg := effGMP(c.GoMaxProcs, cand.GoMaxProcs)
+		rep.timeCheckGMP(b.Mode+"/avg_pause_ns", b.AvgPauseNs, c.AvgPauseNs, bg, cg)
+		rep.timeCheckGMP(b.Mode+"/max_pause_ns",
+			float64(b.MaxPauseNs), float64(c.MaxPauseNs), bg, cg)
+		rep.timeCheckGMP(b.Mode+"/avg_sweep_pause_ns", b.AvgSweepPauseNs, c.AvgSweepPauseNs, bg, cg)
+		rep.timeCheckGMP(b.Mode+"/max_sweep_pause_ns",
+			float64(b.MaxSweepPauseNs), float64(c.MaxSweepPauseNs), bg, cg)
 	}
 	if base.Mark != nil && cand.Mark != nil {
 		sub := CompareMark(base.Mark, cand.Mark, tol)
@@ -183,7 +214,44 @@ func CompareMut(base, cand *repro.MutBenchResult, tol float64) *Report {
 		rep.invariantCheck(name+"/objects_allocated",
 			float64(b.ObjectsAllocated), float64(c.ObjectsAllocated))
 		if !b.Oversubscribed && !c.Oversubscribed {
-			rep.timeCheck(name+"/ns_per_alloc", b.NsPerAlloc, c.NsPerAlloc)
+			rep.timeCheckGMP(name+"/ns_per_alloc", b.NsPerAlloc, c.NsPerAlloc,
+				effGMP(b.GoMaxProcs, base.GoMaxProcs), effGMP(c.GoMaxProcs, cand.GoMaxProcs))
+		}
+	}
+	return rep.finish()
+}
+
+// CompareAlloc gates a candidate allocbench result against a baseline.
+// Rows are matched by (profile, mutator count). The per-row object
+// count is deterministic in both profiles and must match exactly;
+// timing is gated only when neither side is oversubscribed. Line-waste
+// figures depend on which objects happen to die in the same cycle, so
+// they are reported in the JSON but never gated.
+func CompareAlloc(base, cand *repro.AllocBenchResult, tol float64) *Report {
+	rep := &Report{Schema: "allocbench", Tolerance: tol}
+	type key struct {
+		profile  string
+		mutators int
+	}
+	byKey := make(map[key]repro.AllocBenchRow)
+	for _, row := range cand.Rows {
+		byKey[key{row.Profile, row.Mutators}] = row
+	}
+	for _, b := range base.Rows {
+		c, ok := byKey[key{b.Profile, b.Mutators}]
+		name := fmt.Sprintf("%s/mutators=%d", b.Profile, b.Mutators)
+		if !ok {
+			rep.Checks = append(rep.Checks, Check{
+				Name: name + "/present", Kind: "invariant",
+				Baseline: 1, Candidate: 0, Limit: 1, Pass: false,
+			})
+			continue
+		}
+		rep.invariantCheck(name+"/objects_allocated",
+			float64(b.ObjectsAllocated), float64(c.ObjectsAllocated))
+		if !b.Oversubscribed && !c.Oversubscribed {
+			rep.timeCheckGMP(name+"/ns_per_alloc", b.NsPerAlloc, c.NsPerAlloc,
+				effGMP(b.GoMaxProcs, base.GoMaxProcs), effGMP(c.GoMaxProcs, cand.GoMaxProcs))
 		}
 	}
 	return rep.finish()
@@ -230,7 +298,8 @@ func CompareRetention(base, cand *repro.RetentionBenchResult, tol float64) *Repo
 			float64(b.TopSoleObjects), float64(c.TopSoleObjects))
 		rep.invariantCheck(name+"/provenance_records",
 			float64(b.ProvenanceRecords), float64(c.ProvenanceRecords))
-		rep.timeCheck(name+"/report_ms", b.ReportMs, c.ReportMs)
+		rep.timeCheckGMP(name+"/report_ms", b.ReportMs, c.ReportMs,
+			effGMP(b.GoMaxProcs, base.GoMaxProcs), effGMP(c.GoMaxProcs, cand.GoMaxProcs))
 	}
 	return rep.finish()
 }
@@ -252,13 +321,16 @@ func detectSchema(data []byte) (string, error) {
 	if _, ok := probe.Rows[0]["workers"]; ok {
 		return "markbench", nil
 	}
+	if _, ok := probe.Rows[0]["profile"]; ok {
+		return "allocbench", nil
+	}
 	if _, ok := probe.Rows[0]["mutators"]; ok {
 		return "mutbench", nil
 	}
 	if _, ok := probe.Rows[0]["round"]; ok {
 		return "retention", nil
 	}
-	return "", fmt.Errorf("rows have no \"mode\", \"workers\", \"mutators\" or \"round\" keys")
+	return "", fmt.Errorf("rows have no \"mode\", \"workers\", \"profile\", \"mutators\" or \"round\" keys")
 }
 
 // Gate loads the baseline, obtains a candidate (from candidatePath or a
@@ -373,6 +445,34 @@ func Gate(baselinePath, candidatePath string, tol float64) (*Report, error) {
 			cand = *res
 		}
 		return CompareMut(&base, &cand, tol), nil
+	case "allocbench":
+		var base repro.AllocBenchResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, err
+		}
+		var cand repro.AllocBenchResult
+		if candData != nil {
+			if err := json.Unmarshal(candData, &cand); err != nil {
+				return nil, err
+			}
+		} else {
+			var counts []int
+			seen := map[int]bool{}
+			for _, r := range base.Rows {
+				if !seen[r.Mutators] {
+					seen[r.Mutators] = true
+					counts = append(counts, r.Mutators)
+				}
+			}
+			res, _, err := repro.AllocBench(repro.AllocBenchOptions{
+				Mutators: counts, Allocs: base.Allocs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cand = *res
+		}
+		return CompareAlloc(&base, &cand, tol), nil
 	case "retention":
 		var base repro.RetentionBenchResult
 		if err := json.Unmarshal(baseData, &base); err != nil {

@@ -108,6 +108,99 @@ func TestOversubscribedRowsSkipTimeCheck(t *testing.T) {
 	}
 }
 
+func allocBase() *repro.AllocBenchResult {
+	return &repro.AllocBenchResult{
+		GoMaxProcs: 1, NumCPU: 1, Allocs: 1000,
+		Rows: []repro.AllocBenchRow{
+			{Profile: "freelist", Mutators: 1, NsPerAlloc: 80, ObjectsAllocated: 1000, GoMaxProcs: 1},
+			{Profile: "line", Mutators: 1, NsPerAlloc: 40, ObjectsAllocated: 1000, GoMaxProcs: 1},
+			{Profile: "freelist", Mutators: 8, NsPerAlloc: 50, ObjectsAllocated: 8000,
+				Oversubscribed: true, GoMaxProcs: 1},
+			{Profile: "line", Mutators: 8, NsPerAlloc: 35, ObjectsAllocated: 8000,
+				Oversubscribed: true, GoMaxProcs: 1},
+		},
+	}
+}
+
+// TestCompareAllocGates covers the allocbench schema: rows match on
+// (profile, mutators), the object count gates exactly in both
+// profiles, timing gates only non-oversubscribed rows, and the schema
+// is detected from the "profile" row key.
+func TestCompareAllocGates(t *testing.T) {
+	if rep := CompareAlloc(allocBase(), allocBase(), 2); !rep.Pass {
+		t.Fatalf("identical allocbench results failed the gate: %+v", rep.Checks)
+	}
+	cand := allocBase()
+	cand.Rows[1].NsPerAlloc = 81 // line/mutators=1: baseline 40, limit 80
+	if rep := CompareAlloc(allocBase(), cand, 2); rep.Pass {
+		t.Fatal("line-profile timing regression passed the gate")
+	}
+	cand = allocBase()
+	cand.Rows[3].NsPerAlloc = 1e9 // oversubscribed: never gated
+	if rep := CompareAlloc(allocBase(), cand, 2); !rep.Pass {
+		t.Fatalf("oversubscribed allocbench row's time was gated: %+v", rep.Checks)
+	}
+	cand = allocBase()
+	cand.Rows[1].ObjectsAllocated = 999
+	if rep := CompareAlloc(allocBase(), cand, 2); rep.Pass {
+		t.Fatal("diverged objects_allocated passed the gate")
+	}
+	cand = allocBase()
+	cand.Rows = cand.Rows[:3] // line/mutators=8 missing
+	if rep := CompareAlloc(allocBase(), cand, 2); rep.Pass {
+		t.Fatal("candidate missing a baseline row passed the gate")
+	}
+
+	data, err := json.Marshal(allocBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := detectSchema(data)
+	if err != nil || schema != "allocbench" {
+		t.Fatalf("detectSchema = %q, %v; want allocbench", schema, err)
+	}
+}
+
+// TestGMPMismatchMakesTimingAdvisory pins satellite behaviour: when
+// baseline and candidate rows ran under different GOMAXPROCS, timing
+// comparisons are reported as "time-advisory" and never fail the gate,
+// while deterministic invariants keep gating exactly.
+func TestGMPMismatchMakesTimingAdvisory(t *testing.T) {
+	base := markBase() // result-level GoMaxProcs 4, rows carry 0 (legacy)
+	cand := markBase()
+	for i := range cand.Rows {
+		cand.Rows[i].GoMaxProcs = 1 // candidate machine is narrower
+	}
+	cand.Rows[0].NsPerMark = 1e9 // would fail a 2x gate if gated
+	rep := CompareMark(base, cand, 2)
+	if !rep.Pass {
+		t.Fatalf("cross-GOMAXPROCS timing was gated: %+v", rep.Checks)
+	}
+	advisory := false
+	for _, c := range rep.Checks {
+		if c.Kind == "time-advisory" {
+			advisory = true
+		}
+	}
+	if !advisory {
+		t.Fatalf("no advisory timing check reported: %+v", rep.Checks)
+	}
+
+	// Invariants still gate across the same mismatch.
+	cand.Rows[0].ObjectsMarked = 1
+	if rep := CompareMark(base, cand, 2); rep.Pass {
+		t.Fatal("diverged invariant passed under GOMAXPROCS mismatch")
+	}
+
+	// Matching widths (per-row falling back to result-level) still gate
+	// timing as before.
+	cand2 := markBase()
+	cand2.Rows[0].NsPerMark = 1e9
+	if rep := CompareMark(base, cand2, 2); rep.Pass {
+		t.Fatal("same-GOMAXPROCS timing regression passed the gate")
+	}
+}
+
 func TestNestedMarkResultGated(t *testing.T) {
 	base := sweepBase()
 	base.Mark = markBase()

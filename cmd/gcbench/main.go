@@ -29,6 +29,7 @@
 //	markbench   parallel mark-phase scaling by worker count
 //	sweepbench  collection pauses, eager vs lazy sweeping (plus markbench)
 //	mutbench    concurrent-mutator allocation throughput by mutator count
+//	allocbench  free-list vs line-heap allocation profiles by mutator count
 //	soak        long multi-mutator churn with per-cycle integrity audits
 //	retention   spurious-retention attribution on the section-4 lazy stream
 package main
@@ -48,7 +49,7 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|mutbench|soak|retention|all)")
+	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|mutbench|allocbench|soak|retention|all)")
 	seeds      = flag.Int("seeds", 3, "seeds per table-1 and pcrsweep cell")
 	parallel   = flag.Int("parallel", 8, "concurrent runs for table-1 style sweeps")
 	seed       = flag.Uint64("seed", 1, "base seed for single-run experiments")
@@ -123,6 +124,7 @@ func main() {
 		"markbench":  runMarkBench,
 		"sweepbench": runSweepBench,
 		"mutbench":   runMutBench,
+		"allocbench": runAllocBench,
 		"soak":       runSoak,
 		"retention":  runRetention,
 	}
@@ -130,7 +132,7 @@ func main() {
 		"table1", "figure1", "stackclear", "grids", "structures",
 		"overhead", "largeobj", "pcrsweep", "frag", "dualrun", "genceiling",
 		"placement", "atomic", "typed", "pauses", "obs5", "markbench",
-		"sweepbench", "mutbench", "retention",
+		"sweepbench", "mutbench", "allocbench", "retention",
 	}
 	var todo []string
 	if *experiment == "all" {
@@ -423,6 +425,33 @@ func runMutBench() error {
 	fmt.Println("caches and the stop-the-world safepoint protocol under allocation churn.")
 	fmt.Println("The object count per row is deterministic and gated by cmd/benchgate;")
 	fmt.Println("collection counts depend on goroutine interleaving and are informational.")
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	return writeTrace()
+}
+
+func runAllocBench() error {
+	counts, err := parseMutators()
+	if err != nil {
+		return err
+	}
+	res, tab, err := repro.AllocBench(repro.AllocBenchOptions{Mutators: counts, Trace: getBenchTracer()})
+	if err != nil {
+		return err
+	}
+	printTable(tab)
+	fmt.Println("The line heap replaces per-slot free-list threading with bump spans carved")
+	fmt.Println("over runs of free 256-byte lines; sweeping reclaims at line granularity and")
+	fmt.Println("the waste column is the space stranded in partly-live lines. Object counts")
+	fmt.Println("per row are deterministic in both profiles and gated by cmd/benchgate.")
 	if *benchJSON != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

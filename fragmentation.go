@@ -17,6 +17,14 @@ type FragmentationRow struct {
 	FreeSpans        int
 	LargestFreeSpan  int // blocks
 	MaxAllocatableKB int // largest single object placeable afterwards
+	// Space buckets every committed byte (live, free slots, free
+	// blocks, headers, large-object slack); Space.Sum() equals
+	// Space.HeapBytes identically in both allocation profiles.
+	Space alloc.SpaceBreakdown
+	// Lines is the line-heap accounting (zero under free lists); its
+	// WasteBytes — free slots stranded in partly-live lines — is a
+	// subdivision of Space.FreeSlotBytes.
+	Lines alloc.LineStats
 }
 
 // FragmentationOptions configures the churn.
@@ -24,6 +32,14 @@ type FragmentationOptions struct {
 	HeapBytes int // default 16 MiB
 	Rounds    int // default 8
 	Seed      uint64
+	// LineAlloc runs the churn under the line-heap profile
+	// (Config.LineAlloc) instead of free lists.
+	LineAlloc bool
+	// SmallWords, when non-empty, interleaves small objects of these
+	// word sizes with the block-span churn, so dedicated small blocks
+	// (and, under LineAlloc, partly-live lines) appear in the space
+	// accounting. Empty keeps the paper's pure block-span churn.
+	SmallWords []int
 }
 
 // Fragmentation operationalises the paper's concluding argument: "even
@@ -53,15 +69,26 @@ func Fragmentation(opt FragmentationOptions) ([]FragmentationRow, *stats.Table, 
 			InitialBytes: opt.HeapBytes,
 			ReserveBytes: opt.HeapBytes,
 			FreeBlocks:   policy,
+			LineAlloc:    opt.LineAlloc,
 		})
 		if err != nil {
 			return nil, err
 		}
 		rng := simrand.New(opt.Seed)
-		var live []mem.Addr
+		var live, small []mem.Addr
 		for round := 0; round < opt.Rounds; round++ {
-			// Allocate block-span objects of 1..4 blocks until ~70% full.
+			// Allocate block-span objects of 1..4 blocks until ~70% full,
+			// interleaving small objects when requested.
 			for {
+				if len(opt.SmallWords) > 0 {
+					p, err := a.Alloc(opt.SmallWords[rng.Intn(len(opt.SmallWords))], false)
+					if err != nil && !errors.Is(err, alloc.ErrNeedMemory) {
+						return nil, err
+					}
+					if err == nil {
+						small = append(small, p)
+					}
+				}
 				blocks := 1 + rng.Intn(4)
 				p, err := a.Alloc(blocks*mem.PageWords, false)
 				if errors.Is(err, alloc.ErrNeedMemory) {
@@ -72,7 +99,7 @@ func Fragmentation(opt FragmentationOptions) ([]FragmentationRow, *stats.Table, 
 				}
 				live = append(live, p)
 			}
-			// Free a random 60%.
+			// Free a random 60% of each population.
 			rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
 			keep := len(live) * 2 / 5
 			for _, p := range live[keep:] {
@@ -81,6 +108,14 @@ func Fragmentation(opt FragmentationOptions) ([]FragmentationRow, *stats.Table, 
 				}
 			}
 			live = live[:keep]
+			rng.Shuffle(len(small), func(i, j int) { small[i], small[j] = small[j], small[i] })
+			keepSmall := len(small) * 2 / 5
+			for _, p := range small[keepSmall:] {
+				if err := a.Free(p); err != nil {
+					return nil, err
+				}
+			}
+			small = small[:keepSmall]
 		}
 		// Probe the largest object still placeable.
 		maxKB := 0
@@ -102,6 +137,8 @@ func Fragmentation(opt FragmentationOptions) ([]FragmentationRow, *stats.Table, 
 			FreeSpans:        len(a.FreeSpans()),
 			LargestFreeSpan:  a.LargestFreeSpan(),
 			MaxAllocatableKB: maxKB,
+			Space:            a.SpaceBreakdown(),
+			Lines:            a.LineStats(),
 		}, nil
 	}
 

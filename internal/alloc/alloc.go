@@ -169,6 +169,17 @@ type Config struct {
 	// SweepResult) are identical to the eager sweep's, computed from the
 	// summaries at the barrier. Default off: the eager path, unchanged.
 	LazySweep bool
+	// LineAlloc switches small untyped allocation to the line-structured
+	// bump profile (see lines.go): blocks are partitioned into
+	// LineWords-sized lines, sweep classifies them by line occupancy
+	// instead of threading free lists, and allocation carves {cursor,
+	// limit} bump spans over runs of wholly-free lines (AllocSpan /
+	// ReturnSpan for mutator caches, the central spans for Alloc).
+	// Reclamation totals and — on line-aligned size classes — allocation
+	// addresses are identical to the free-list profile; the differential
+	// tests assert both. Typed and large objects are unaffected. Default
+	// off: the threaded free lists, unchanged.
+	LineAlloc bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -229,6 +240,15 @@ type blockDesc struct {
 	// describe the last cycle's liveness, and its free slots are on no
 	// free list until sweepBlock runs.
 	pendingSweep bool
+	// lineLive caches which lines hold an allocated slot (LineAlloc
+	// small untyped blocks only): bit l set iff some allocated slot
+	// overlaps words [l*LineWords, (l+1)*LineWords). Derived from
+	// allocBits — recomputed by the line sweep and ReturnSpan, extended
+	// by carveRun — never maintained on the mark path.
+	lineLive uint16
+	// bumpQueued marks a block currently on its class's linePartial
+	// queue, so requeues after frees cannot create duplicate entries.
+	bumpQueued bool
 	// ignoreOffPage marks a large object whose client promises to keep
 	// a pointer to its first page: interior pointers past that page are
 	// treated as invalid (GC_malloc_ignore_off_page in the original
@@ -310,6 +330,22 @@ type Allocator struct {
 	sweepPendingTyped map[typedKey][]int
 	pendingBlocks     int
 	lazyClearMarks    bool
+	// Line-structured allocation state (Config.LineAlloc, lines.go).
+	// lineSpans[idx] is the central bump span Alloc consumes for each
+	// free-list index; linePartial[idx] queues partially-free blocks as
+	// carve targets, filled in ascending block order by the sweep
+	// barrier and popped from the back — the same order the rebuilt
+	// free lists would hand blocks out, which is what keeps allocation
+	// addresses identical to the free-list profile on line-aligned
+	// classes.
+	// lineFreed[idx] is the explicit-free LIFO: Free pushes the slot
+	// (alloc bit kept set, memory zeroed) and allocation pops it before
+	// consuming any span — the analogue of the threaded list's
+	// push-to-head, which is what keeps Free/realloc address order
+	// identical too. FlushSpans drains it at every barrier.
+	lineSpans   [64]Span
+	linePartial [64][]int
+	lineFreed   [64][]mem.Addr
 	// hullLo/hullHi cache the reserved-range hull over all extents:
 	// every address any extent could ever commit lies in [hullLo,
 	// hullHi). The marker's candidate fast path rejects the common
@@ -566,6 +602,9 @@ func (a *Allocator) alloc(nwords int, atomic, desperate bool) (mem.Addr, error) 
 	idx := class
 	if atomic {
 		idx += NumClasses
+	}
+	if a.cfg.LineAlloc {
+		return a.allocLine(class, words, atomic, idx, desperate)
 	}
 	if a.freeList[idx] == 0 {
 		if err := a.refill(class, atomic, idx, desperate); err != nil {

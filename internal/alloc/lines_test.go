@@ -1,0 +1,212 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// lineCfg is the standard line-profile test configuration.
+func lineCfg() Config { return Config{LineAlloc: true} }
+
+// spanAddrs expands a span into the slot addresses it will hand out.
+func spanAddrs(s Span) []mem.Addr {
+	var out []mem.Addr
+	step := mem.Addr(s.Words * mem.WordBytes)
+	for p := s.Cursor; p < s.Limit; p += step {
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestLineAllocBasicSpan(t *testing.T) {
+	_, a := newTestAllocator(t, lineCfg())
+	s, err := a.AllocSpan(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Words != 64 {
+		t.Fatalf("span words = %d, want 64", s.Words)
+	}
+	slots := spanAddrs(s)
+	// A fresh 64-word-class block has every line free: one span covers
+	// the whole block's usable slots.
+	if want := mem.PageWords / 64; len(slots) != want {
+		t.Fatalf("fresh-block span holds %d slots, want %d", len(slots), want)
+	}
+	// Every slot is allocated (bits set at carve) and zeroed.
+	for _, p := range slots {
+		if got, _ := a.FindObject(p, false); got != p {
+			t.Fatalf("span slot %#x not an object base", uint32(p))
+		}
+		for w := 0; w < 64; w++ {
+			v, err := a.loadWord(p + mem.Addr(w*mem.WordBytes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 0 {
+				t.Fatalf("span slot %#x word %d = %#x, want 0", uint32(p), w, v)
+			}
+		}
+	}
+	if err := a.CheckIntegrity(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineAllocReturnSpanExact(t *testing.T) {
+	_, a := newTestAllocator(t, lineCfg())
+	s, err := a.AllocSpan(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume two slots, return the tail, and re-carve: the next span
+	// must resume at exactly the returned cursor.
+	step := mem.Addr(64 * mem.WordBytes)
+	cursor := s.Cursor + 2*step
+	if n := a.ReturnSpan(cursor, s.Limit); n != s.slots(64)-2 {
+		t.Fatalf("ReturnSpan returned %d slots", n)
+	}
+	s2, err := a.AllocSpan(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Cursor != cursor || s2.Limit != s.Limit {
+		t.Fatalf("re-carve = [%#x,%#x), want [%#x,%#x)",
+			uint32(s2.Cursor), uint32(s2.Limit), uint32(cursor), uint32(s.Limit))
+	}
+	if err := a.CheckIntegrity(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineAllocStatsDeferredToConsumption(t *testing.T) {
+	_, a := newTestAllocator(t, lineCfg())
+	before := a.Stats()
+	s, err := a.AllocSpan(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := a.Stats()
+	if after.ObjectsAllocated != before.ObjectsAllocated || after.BytesAllocated != before.BytesAllocated {
+		t.Fatalf("carve counted stats: %+v -> %+v", before, after)
+	}
+	n := uint64(s.slots(64))
+	a.CommitAllocs(n, n*64*mem.WordBytes)
+	if got := a.Stats().ObjectsAllocated; got != before.ObjectsAllocated+n {
+		t.Fatalf("after commit ObjectsAllocated = %d", got)
+	}
+	a.FlushSpans()
+}
+
+func TestLineAllocRejectsFreeListAPIs(t *testing.T) {
+	_, a := newTestAllocator(t, lineCfg())
+	if _, err := a.AllocRun(4, false, 8, nil); err == nil {
+		t.Fatal("AllocRun succeeded under LineAlloc")
+	}
+	if _, err := a.AllocSpan(MaxSmallWords+1, false); err == nil {
+		t.Fatal("AllocSpan of a large object succeeded")
+	}
+	_, b := newTestAllocator(t, Config{})
+	if _, err := b.AllocSpan(4, false); err == nil {
+		t.Fatal("AllocSpan succeeded without LineAlloc")
+	}
+}
+
+func TestLineSweepReclaimsAndZeroes(t *testing.T) {
+	_, a := newTestAllocator(t, lineCfg())
+	// Allocate a block's worth of 8-word objects, mark every other one,
+	// sweep, and check dead slots are whole-zeroed and reclaimable.
+	var objs []mem.Addr
+	for i := 0; i < mem.PageWords/8; i++ {
+		p, err := a.Alloc(8, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.storeWord(p, mem.Word(0xdeadbeef)); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, p)
+	}
+	for i, p := range objs {
+		if i%2 == 0 {
+			a.Mark(p)
+		}
+	}
+	res := a.Sweep()
+	if int(res.ObjectsFreed) != len(objs)/2 {
+		t.Fatalf("freed %d, want %d", res.ObjectsFreed, len(objs)/2)
+	}
+	for i, p := range objs {
+		if i%2 == 0 {
+			continue
+		}
+		for w := 0; w < 8; w++ {
+			v, err := a.loadWord(p + mem.Addr(w*mem.WordBytes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 0 {
+				t.Fatalf("dead slot %#x word %d = %#x after line sweep", uint32(p), w, v)
+			}
+		}
+	}
+	if err := a.CheckIntegrity(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The freed slots are carvable again.
+	if _, err := a.Alloc(8, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineStatsAccounting(t *testing.T) {
+	_, a := newTestAllocator(t, lineCfg())
+	// One fresh 64-word-class block, half consumed.
+	half := mem.PageWords / 64 / 2
+	for i := 0; i < half; i++ {
+		if _, err := a.Alloc(64, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.FlushSpans()
+	ls := a.LineStats()
+	if ls.LineBlocks != 1 {
+		t.Fatalf("LineBlocks = %d, want 1", ls.LineBlocks)
+	}
+	if ls.TotalLines != LinesPerBlock {
+		t.Fatalf("TotalLines = %d, want %d", ls.TotalLines, LinesPerBlock)
+	}
+	if ls.LiveLines+ls.FreeLines != ls.TotalLines {
+		t.Fatalf("live %d + free %d != total %d", ls.LiveLines, ls.FreeLines, ls.TotalLines)
+	}
+	// 64-word slots tile lines exactly: no waste is possible.
+	if ls.WasteSlots != 0 || ls.WasteBytes != 0 {
+		t.Fatalf("line-aligned class shows waste: %+v", ls)
+	}
+}
+
+func TestLineAllocFreeRequeues(t *testing.T) {
+	_, a := newTestAllocator(t, lineCfg())
+	p, err := a.Alloc(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FlushSpans()
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// The freed slot's block was requeued: the next allocation of the
+	// class carves it again, lowest free run first.
+	q, err := a.Alloc(64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("after Free, Alloc = %#x, want the freed slot %#x", uint32(q), uint32(p))
+	}
+	a.FlushSpans()
+	if err := a.CheckIntegrity(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,11 @@ func (a *Allocator) AllocRun(nwords int, atomic bool, max int, out []mem.Addr) (
 	if IsLarge(nwords) {
 		return out, fmt.Errorf("alloc: AllocRun of large object (%d words)", nwords)
 	}
+	if a.cfg.LineAlloc {
+		// Under the line profile small untyped slots are never threaded;
+		// mixing list carves with bump spans would corrupt both.
+		return out, fmt.Errorf("alloc: AllocRun under LineAlloc (use AllocSpan)")
+	}
 	if max < 1 {
 		max = 1
 	}
@@ -209,6 +214,35 @@ func (a *Allocator) CheckIntegrity(cached []mem.Addr) error {
 		}
 		return nil
 	}
+	// Central bump spans (LineAlloc) hold carved-but-unissued slots;
+	// account them exactly like mutator-cached slots.
+	var spanErr error
+	a.lineSpanSlots(func(p mem.Addr) {
+		if spanErr != nil {
+			return
+		}
+		if prev, dup := seen[p]; dup {
+			spanErr = fmt.Errorf("alloc: integrity: slot %#x in a central span already accounted to %s", uint32(p), prev)
+			return
+		}
+		seen[p] = "central span"
+		ref, b, err := locate(p, "central span")
+		if err != nil {
+			spanErr = err
+			return
+		}
+		if b.pendingSweep {
+			spanErr = fmt.Errorf("alloc: integrity: central-span slot %#x in sweep-pending block %d", uint32(p), ref.bi)
+			return
+		}
+		if !bitGet(b.allocBits, ref.slot) {
+			spanErr = fmt.Errorf("alloc: integrity: central-span slot %#x has a clear alloc bit", uint32(p))
+		}
+	})
+	if spanErr != nil {
+		return spanErr
+	}
+
 	for idx, head := range a.freeList {
 		if err := walk(head, fmt.Sprintf("freeList[%d]", idx)); err != nil {
 			return err
@@ -246,6 +280,17 @@ func (a *Allocator) CheckIntegrity(cached []mem.Addr) error {
 		}
 		words := int(b.objWords)
 		usable := slotsPerBlock(words) - a.firstSlot(words)
+		if a.isLineBlock(b) {
+			// Line blocks thread nothing: free space is the lines' affair.
+			// The cached line mask must agree with the alloc bits.
+			if freePerBlock[bi] != 0 {
+				return fmt.Errorf("alloc: integrity: line block %d has %d threaded slots", bi, freePerBlock[bi])
+			}
+			if b.lineLive != a.lineLiveOf(bi) {
+				return fmt.Errorf("alloc: integrity: line block %d lineLive %#x != derived %#x", bi, b.lineLive, a.lineLiveOf(bi))
+			}
+			continue
+		}
 		if live+freePerBlock[bi] != usable {
 			return fmt.Errorf("alloc: integrity: block %d live %d + free %d != usable %d", bi, live, freePerBlock[bi], usable)
 		}

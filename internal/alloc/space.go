@@ -1,0 +1,95 @@
+package alloc
+
+import "repro/internal/mem"
+
+// SpaceBreakdown is an exact byte accounting of the committed heap:
+// every committed byte lands in exactly one bucket, so
+//
+//	HeapBytes = FreeBlockBytes + LiveBytes + CachedBytes +
+//	            FreeSlotBytes + OverheadBytes + LargeSlackBytes
+//
+// holds identically in both allocation profiles. It is the experiment-
+// facing companion to CheckIntegrity: the audit proves slot-count
+// conservation, this exposes where the bytes are so fragmentation and
+// space-overhead claims can be checked against the whole heap.
+type SpaceBreakdown struct {
+	HeapBytes      int // committed heap (every block, any state)
+	FreeBlockBytes int // wholly-free blocks awaiting dedication
+	// LiveBytes counts allocated slots and large objects. Slots carved
+	// into mutator caches are indistinguishable from live here (their
+	// alloc bits are set); pass their addresses to CheckIntegrity for
+	// the exact audit.
+	LiveBytes int
+	// CachedBytes counts slots carved but not yet issued that the
+	// allocator itself holds: central bump spans and the explicit-free
+	// LIFO (line profile only; zero under free lists).
+	CachedBytes int
+	// FreeSlotBytes counts free slots inside dedicated small blocks:
+	// free-list-threaded slots, or line-profile space reachable by a
+	// future carve plus the slots stranded in partly-live lines (the
+	// LineStats waste is a subdivision of this bucket).
+	FreeSlotBytes int
+	// OverheadBytes counts per-block space no slot can occupy: the
+	// block-start offset reserved against off-by-one block straddles
+	// (firstSlot) and the tail remainder when the class does not tile
+	// the block exactly.
+	OverheadBytes int
+	// LargeSlackBytes is rounding inside large-object block spans: the
+	// span is whole blocks, the object is not.
+	LargeSlackBytes int
+}
+
+// SpaceBreakdown walks the block table and buckets every committed
+// byte. Sweep-pending blocks are accounted by their current bitmaps,
+// which still describe the previous cycle — the identity holds, but
+// Live/Free splits for those blocks move once the deferred sweep runs.
+func (a *Allocator) SpaceBreakdown() SpaceBreakdown {
+	var sb SpaceBreakdown
+	sb.HeapBytes = len(a.blocks) * mem.PageBytes
+
+	// Central spans and the explicit-free LIFO hold carved slots whose
+	// alloc bits are set; reclassify them from Live to Cached.
+	carved := make(map[mem.Addr]bool)
+	a.lineSpanSlots(func(p mem.Addr) { carved[p] = true })
+
+	for bi := range a.blocks {
+		b := &a.blocks[bi]
+		switch b.state {
+		case blockFree:
+			sb.FreeBlockBytes += mem.PageBytes
+		case blockSmall:
+			words := int(b.objWords)
+			nslots := slotsPerBlock(words)
+			first := a.firstSlot(words)
+			sb.OverheadBytes += (first*words + mem.PageWords - nslots*words) * mem.WordBytes
+			base := a.blockBase(bi)
+			for slot := first; slot < nslots; slot++ {
+				bytes := words * mem.WordBytes
+				switch {
+				case !bitGet(b.allocBits, slot):
+					sb.FreeSlotBytes += bytes
+				case carved[base+mem.Addr(slot*words*mem.WordBytes)]:
+					sb.CachedBytes += bytes
+				default:
+					sb.LiveBytes += bytes
+				}
+			}
+		case blockLargeHead:
+			// A large head IS an allocated object (freeing releases the
+			// span back to blockFree); there are no alloc bits to consult.
+			spanBytes := int(b.spanLen) * mem.PageBytes
+			objBytes := int(b.objWords) * mem.WordBytes
+			sb.LiveBytes += objBytes
+			sb.LargeSlackBytes += spanBytes - objBytes
+		case blockLargeCont:
+			// Counted by the head block's span.
+		}
+	}
+	return sb
+}
+
+// Sum re-adds the buckets; callers assert Sum() == HeapBytes.
+func (sb SpaceBreakdown) Sum() int {
+	return sb.FreeBlockBytes + sb.LiveBytes + sb.CachedBytes +
+		sb.FreeSlotBytes + sb.OverheadBytes + sb.LargeSlackBytes
+}

@@ -130,15 +130,21 @@ func (a *Allocator) sweepSmall(bi int, clearMarks bool) {
 // argument for sorted free lists.
 func (a *Allocator) sweep(clearMarks bool) SweepResult {
 	a.FinishSweep() // no-op unless a lazy cycle left blocks pending
+	// Outstanding bump spans hold allocated-but-unissued slots; return
+	// them before the accounting below reads liveSlots. The collector
+	// flushes before marking, so this is a no-op there — it covers
+	// direct allocator use.
+	a.FlushSpans()
 	var r SweepResult
-	// Free lists are rebuilt from scratch: the threaded slots live in
-	// blocks that may be released below.
+	// Free lists and partial-block queues are rebuilt from scratch: the
+	// threaded slots and queued blocks may be released below.
 	for i := range a.freeList {
 		a.freeList[i] = 0
 	}
 	for k := range a.typedFree {
 		a.typedFree[k] = 0
 	}
+	a.resetLineQueues()
 	for bi := 0; bi < len(a.blocks); bi++ {
 		b := &a.blocks[bi]
 		switch b.state {
@@ -176,7 +182,12 @@ func (a *Allocator) sweep(clearMarks bool) SweepResult {
 				a.stats.BlocksFree++
 				continue
 			}
-			a.sweepSmall(bi, clearMarks)
+			if a.isLineBlock(b) {
+				a.lineSweepSmall(bi, clearMarks)
+				a.requeueLineBlock(bi, b)
+			} else {
+				a.sweepSmall(bi, clearMarks)
+			}
 			r.ObjectsLive += uint64(live)
 			r.BytesLive += uint64(live) * objBytes
 			r.BlocksKept++
@@ -203,6 +214,7 @@ func (a *Allocator) sweep(clearMarks bool) SweepResult {
 // pending blocks by finishing them first.
 func (a *Allocator) sweepLazy(clearMarks bool) SweepResult {
 	a.FinishSweep() // complete the previous cycle's leftovers first
+	a.FlushSpans()  // see sweep: return bump spans before accounting
 	var r SweepResult
 	for i := range a.freeList {
 		a.freeList[i] = 0
@@ -210,6 +222,7 @@ func (a *Allocator) sweepLazy(clearMarks bool) SweepResult {
 	for k := range a.typedFree {
 		a.typedFree[k] = 0
 	}
+	a.resetLineQueues()
 	a.lazyClearMarks = clearMarks
 	for bi := 0; bi < len(a.blocks); bi++ {
 		b := &a.blocks[bi]
@@ -267,6 +280,15 @@ func (a *Allocator) sweepLazy(clearMarks bool) SweepResult {
 			}
 			b.pendingSweep = true
 			a.pendingBlocks++
+			if a.isLineBlock(b) {
+				// Mixed line blocks queue as deferred carve targets: the
+				// first carve (or FinishSweep) runs the line sweep, so the
+				// deferred work drains through the same queue the bump
+				// refill consumes.
+				b.bumpQueued = true
+				a.linePartial[lineIdx(b)] = append(a.linePartial[lineIdx(b)], bi)
+				continue
+			}
 			if b.desc >= 0 {
 				k := typedKey{class: int(b.class), desc: b.desc}
 				a.sweepPendingTyped[k] = append(a.sweepPendingTyped[k], bi)
@@ -294,7 +316,11 @@ func (a *Allocator) sweepBlock(bi int) {
 	a.pendingBlocks--
 	a.stats.LazySweptBlocks++
 	a.tracer.Emit(trace.EvSweepDrain, int64(bi), int64(a.pendingBlocks), 0)
-	a.sweepSmall(bi, a.lazyClearMarks)
+	if a.isLineBlock(b) {
+		a.lineSweepSmall(bi, a.lazyClearMarks)
+	} else {
+		a.sweepSmall(bi, a.lazyClearMarks)
+	}
 }
 
 // popPending pops the highest-index still-pending block off a queue.
@@ -338,6 +364,17 @@ func (a *Allocator) FinishSweep() int {
 			}
 		}
 		a.sweepPendingTyped[k] = q[:0]
+	}
+	// Line blocks defer through the partial-block queues. Unlike the
+	// free-list queues the entries stay: a swept line block remains a
+	// carve target for the bump refill.
+	for idx := range a.linePartial {
+		for _, bi := range a.linePartial[idx] {
+			if a.blocks[bi].pendingSweep {
+				a.sweepBlock(bi)
+				n++
+			}
+		}
 	}
 	return n
 }
@@ -428,10 +465,31 @@ func (a *Allocator) Free(base mem.Addr) error {
 			// Complete the deferred sweep first: freeing a slot the lazy
 			// sweep still considers dead-or-free would double-thread it.
 			// The stale queue entry is discarded when popped.
-			a.sweepBlock(bi)
+			if a.isLineBlock(b) {
+				// In the free-list profile this sweepBlock threads the
+				// block's slots onto the list HEAD, above everything
+				// already threaded. Mirror that hoist: return the class's
+				// central span (its block re-queues behind) and move this
+				// block to the back of the queue — the next-popped
+				// position. The duplicate entry is harmless: carving is
+				// bits-driven and exhausted entries are skipped.
+				idx := lineIdx(b)
+				if s := a.lineSpans[idx]; s.Cursor < s.Limit {
+					a.lineSpans[idx] = Span{}
+					a.ReturnSpan(s.Cursor, s.Limit)
+				}
+				a.sweepBlock(bi)
+				a.linePartial[idx] = append(a.linePartial[idx], bi)
+				b.bumpQueued = true
+			} else {
+				a.sweepBlock(bi)
+			}
 		}
 		if !bitGet(b.allocBits, slot) {
 			return fmt.Errorf("alloc: Free(%#x): not allocated", uint32(base))
+		}
+		if a.isLineBlock(b) {
+			return a.freeLineSlot(bi, b, base, slot, words)
 		}
 		bitClear(b.allocBits, slot)
 		if bitGet(b.markBits, slot) {

@@ -105,10 +105,13 @@ func churnMutator(w *World, m *Mutator, data *mem.Segment, base mem.Addr, seed u
 // central allocation stats stay exact.
 func TestConcurrentMutatorBattery(t *testing.T) {
 	configs := map[string]Config{
-		"full":        {GCDivisor: 6},
-		"gen-lazy":    {Generational: true, MinorDivisor: 6, FullEvery: 3, LazySweep: true},
-		"par-lazy":    {GCDivisor: 6, MarkWorkers: 4, LazySweep: true},
-		"incremental": {Incremental: true, GCDivisor: 6, MarkQuantum: 64},
+		"full":          {GCDivisor: 6},
+		"gen-lazy":      {Generational: true, MinorDivisor: 6, FullEvery: 3, LazySweep: true},
+		"par-lazy":      {GCDivisor: 6, MarkWorkers: 4, LazySweep: true},
+		"incremental":   {Incremental: true, GCDivisor: 6, MarkQuantum: 64},
+		"line":          {GCDivisor: 6, LineAlloc: true},
+		"line-gen-lazy": {Generational: true, MinorDivisor: 6, FullEvery: 3, LazySweep: true, LineAlloc: true},
+		"line-par-lazy": {GCDivisor: 6, MarkWorkers: 4, LazySweep: true, LineAlloc: true},
 	}
 	const nMut = 8
 	ops := 400
@@ -237,17 +240,37 @@ func FuzzConcurrentAlloc(f *testing.F) {
 	f.Add(uint8(3), uint8(2), []byte{0xe0, 0xe4, 0xe8, 0x02, 0x03, 0x83, 0x43, 0x23, 0x13, 0x0b})
 	f.Add(uint8(4), uint8(3), []byte{0x00, 0x01, 0x02, 0x03, 0x40, 0x41, 0x42, 0x43, 0x80, 0x81, 0x82, 0x83, 0xc0, 0xc1, 0xc2, 0xc3})
 	f.Add(uint8(4), uint8(4), []byte{0x07, 0x07, 0x07, 0x07, 0x0f, 0x0f, 0x0f, 0x0f, 0xc3, 0xc7, 0xcb, 0xcf})
+	fuzzConcurrent(f, []Config{
+		{GCDivisor: 4},
+		{GCDivisor: 4, LazySweep: true},
+		{Generational: true, MinorDivisor: 5, FullEvery: 2, LazySweep: true},
+		{Incremental: true, GCDivisor: 4, MarkQuantum: 32},
+		{GCDivisor: 4, MarkWorkers: 2, LazySweep: true},
+	})
+}
+
+// FuzzLineAlloc is the bump-profile variant: the same interleaving
+// fuzz across 2–4 concurrent mutators, with every configuration under
+// Config.LineAlloc. Span carves, safepoint span flushes, and the freed
+// LIFO replace run carves and free-list threading on these paths.
+func FuzzLineAlloc(f *testing.F) {
+	f.Add(uint8(2), uint8(0), []byte{0x00, 0x41, 0x9a, 0xe3, 0x07, 0xff, 0x22, 0x6d})
+	f.Add(uint8(3), uint8(1), []byte{0xe0, 0xe4, 0xe8, 0x02, 0x03, 0x83, 0x43, 0x23, 0x13, 0x0b})
+	f.Add(uint8(4), uint8(2), []byte{0x07, 0x07, 0x07, 0x07, 0x0f, 0x0f, 0x0f, 0x0f, 0xc3, 0xc7, 0xcb, 0xcf})
+	fuzzConcurrent(f, []Config{
+		{GCDivisor: 4, LineAlloc: true},
+		{GCDivisor: 4, LazySweep: true, LineAlloc: true},
+		{Generational: true, MinorDivisor: 5, FullEvery: 2, LazySweep: true, LineAlloc: true},
+		{GCDivisor: 4, MarkWorkers: 2, LazySweep: true, LineAlloc: true},
+	})
+}
+
+// fuzzConcurrent is the shared fuzz body; mode selects from cfgs.
+func fuzzConcurrent(f *testing.F, cfgs []Config) {
 	f.Fuzz(func(t *testing.T, nm, mode uint8, prog []byte) {
 		nMut := 2 + int(nm)%3
 		if len(prog) > 512 {
 			prog = prog[:512]
-		}
-		cfgs := []Config{
-			{GCDivisor: 4},
-			{GCDivisor: 4, LazySweep: true},
-			{Generational: true, MinorDivisor: 5, FullEvery: 2, LazySweep: true},
-			{Incremental: true, GCDivisor: 4, MarkQuantum: 32},
-			{GCDivisor: 4, MarkWorkers: 2, LazySweep: true},
 		}
 		cfg := cfgs[int(mode)%len(cfgs)]
 		w := newWorld(t, cfg)

@@ -52,13 +52,16 @@ import (
 const runSlots = 32
 
 // allocCache is one size class's cached run: run[next:] are the carved
-// slots not yet handed out. words is the class's padded object size,
-// recorded at refill for local byte accounting and for returning the
-// tail to the right list.
+// slots not yet handed out. Under Config.LineAlloc the cache holds a
+// bump span instead — [cursor, limit) in steps of the object size —
+// and run stays empty; the two forms never coexist in one cache.
+// words is the class's padded object size, recorded at refill for
+// local byte accounting and for returning the tail to the right list.
 type allocCache struct {
-	run   []mem.Addr
-	next  int
-	words int
+	run           []mem.Addr
+	next          int
+	words         int
+	cursor, limit mem.Addr
 }
 
 // MutatorStats counts one handle's allocation activity.
@@ -191,8 +194,12 @@ func (m *Mutator) allocate(nwords int, atomic bool, dst *mem.Segment, at mem.Add
 		// Divert to the slow path at the allocation where the central
 		// trigger would fire: the collection must happen now, not when
 		// the cache next empties.
-		if c.next < len(c.run) && !(m.hasTrigger && m.sinceGC > m.trigger) {
-			p := c.run[c.next]
+		fromSpan := c.cursor < c.limit
+		if (fromSpan || c.next < len(c.run)) && !(m.hasTrigger && m.sinceGC > m.trigger) {
+			p := c.cursor // line profile: bump the cached span's cursor
+			if !fromSpan {
+				p = c.run[c.next]
+			}
 			// Root before consuming: m.mu is held, so no safepoint can
 			// intervene between the store and the hand-out. The store
 			// touches only the caller's own segment slot, never shared
@@ -203,7 +210,11 @@ func (m *Mutator) allocate(nwords int, atomic bool, dst *mem.Segment, at mem.Add
 					return 0, err
 				}
 			}
-			c.next++
+			if fromSpan {
+				c.cursor += mem.Addr(words * mem.WordBytes)
+			} else {
+				c.next++
+			}
 			bytes := uint64(words) * mem.WordBytes
 			m.sinceGC += bytes
 			m.unpubObjects++
@@ -247,21 +258,41 @@ func (m *Mutator) allocateSlow(nwords int, atomic bool, dst *mem.Segment, at mem
 		m.returnCacheLocked(idx)
 		c := &m.caches[idx]
 		carved := false
-		try := func() (mem.Addr, error) {
-			run, err := w.Heap.AllocRun(nwords, atomic, runSlots, c.run[:0])
-			if err != nil {
-				return 0, err
+		var try func() (mem.Addr, error)
+		if w.cfg.LineAlloc {
+			try = func() (mem.Addr, error) {
+				// Line profile: carve one bump span over a run of free
+				// lines and consume its first slot; the rest is the
+				// fast path's [cursor, limit).
+				s, err := w.Heap.AllocSpan(nwords, atomic)
+				if err != nil {
+					return 0, err
+				}
+				slotBytes := mem.Addr(words * mem.WordBytes)
+				c.cursor = s.Cursor + slotBytes
+				c.limit = s.Limit
+				carved = true
+				m.recordSpanRefillLocked(idx, int((s.Limit-s.Cursor)/slotBytes), words)
+				return s.Cursor, nil
 			}
-			c.run = run
-			c.next = 1
-			carved = true
-			m.recordRefillLocked(idx, len(run), words)
-			return run[0], nil
+		} else {
+			try = func() (mem.Addr, error) {
+				run, err := w.Heap.AllocRun(nwords, atomic, runSlots, c.run[:0])
+				if err != nil {
+					return 0, err
+				}
+				c.run = run
+				c.next = 1
+				carved = true
+				m.recordRefillLocked(idx, len(run), words)
+				return run[0], nil
+			}
 		}
 		desperate := func() (mem.Addr, error) {
 			carved = false
 			c.run = c.run[:0]
 			c.next = 0
+			c.cursor, c.limit = 0, 0
 			return w.Heap.AllocDesperate(nwords, atomic)
 		}
 		p, err = w.allocateLocked(nwords, m.src, try, desperate)
@@ -429,6 +460,12 @@ func (m *Mutator) returnCacheLocked(idx int) int {
 	}
 	c.run = c.run[:0]
 	c.next = 0
+	if c.cursor < c.limit {
+		// Line profile: clear the span tail's alloc bits and requeue its
+		// block, so the very next carve re-issues the same cursor.
+		rest += m.w.Heap.ReturnSpan(c.cursor, c.limit)
+	}
+	c.cursor, c.limit = 0, 0
 	return rest
 }
 
@@ -459,6 +496,20 @@ func (m *Mutator) recordRefillLocked(idx, n, words int) {
 	if w.tracer.Enabled() {
 		w.tracer.Emit(trace.EvCacheRefill, int64(idx), int64(n), int64(words))
 	}
+}
+
+// recordSpanRefillLocked notes one bump-span refill (Config.LineAlloc)
+// in the handle and world observability. The trace event (EvSpanRefill)
+// is emitted by the allocator's carve itself — a central-span hand-over
+// re-issues an already-carved span, which must not double-count there.
+// Callers hold w.mu.
+func (m *Mutator) recordSpanRefillLocked(idx, n, words int) {
+	c := &m.caches[idx]
+	c.words = words
+	m.stats.Refills++
+	m.stats.RunSlots += uint64(n)
+	m.w.met.spanRefills.Inc()
+	m.w.met.spanRefillSlots.Add(uint64(n))
 }
 
 // stopMutatorsLocked is the stop-the-world safepoint: acquire every
@@ -514,6 +565,12 @@ func (w *World) VerifyIntegrity() error {
 		for idx := range m.caches {
 			c := &m.caches[idx]
 			cached = append(cached, c.run[c.next:]...)
+			if c.cursor < c.limit {
+				// Line profile: the cached span's unconsumed slots.
+				for p, step := c.cursor, mem.Addr(c.words*mem.WordBytes); p < c.limit; p += step {
+					cached = append(cached, p)
+				}
+			}
 		}
 	}
 	err := w.Heap.CheckIntegrity(cached)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/blacklist"
@@ -227,12 +228,105 @@ func TestParallelMarkOnlyMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestMarkWorkersDefaultIsSerial(t *testing.T) {
+func TestMarkWorkersDefaultIsAdaptive(t *testing.T) {
 	w := newWorld(t, Config{})
-	if w.cfg.MarkWorkers != 1 {
-		t.Fatalf("default MarkWorkers = %d", w.cfg.MarkWorkers)
+	if w.cfg.MarkWorkers != 0 {
+		t.Fatalf("default MarkWorkers = %d, want 0 (adaptive)", w.cfg.MarkWorkers)
 	}
 	if w.par != nil {
-		t.Fatal("serial world built a parallel marker")
+		t.Fatal("fresh world built a parallel marker eagerly")
+	}
+	// A fresh world has no measured live bytes, so the adaptive pick is
+	// serial regardless of GOMAXPROCS: parallel coordination on an empty
+	// heap would be pure overhead.
+	if got := w.effectiveMarkWorkers(); got != 1 {
+		t.Fatalf("fresh world effectiveMarkWorkers = %d, want 1", got)
+	}
+	w.Collect()
+	if w.lastMarkWorkers != 1 {
+		t.Fatalf("first cycle used %d workers, want 1", w.lastMarkWorkers)
+	}
+	if w.par != nil {
+		t.Fatal("serial first cycle built a parallel marker")
 	}
 }
+
+func TestAutoMarkWorkersTable(t *testing.T) {
+	const mib = 1 << 20
+	cases := []struct {
+		procs int
+		live  uint64
+		want  int
+	}{
+		// Uniprocessor: always serial.
+		{1, 1 << 30, 1},
+		{0, 1 << 30, 1},
+		// Tiny live heaps mark serially on any machine.
+		{16, 0, 1},
+		{16, 8*mib - 1, 1},
+		// Bands: <32MiB -> 2, <128MiB -> 4, else 8 — each capped by procs.
+		{16, 8 * mib, 2},
+		{16, 32*mib - 1, 2},
+		{2, 16 * mib, 2},
+		{16, 32 * mib, 4},
+		{16, 128*mib - 1, 4},
+		{3, 64 * mib, 3},
+		{16, 128 * mib, 8},
+		{16, 1 << 30, 8},
+		{6, 1 << 30, 6},
+		{64, 1 << 32, 8},
+	}
+	for _, c := range cases {
+		if got := AutoMarkWorkers(c.procs, c.live); got != c.want {
+			t.Errorf("AutoMarkWorkers(%d, %d) = %d, want %d", c.procs, c.live, got, c.want)
+		}
+	}
+}
+
+func TestAdaptiveMarkWorkersRebuild(t *testing.T) {
+	// Grow the live heap across the adaptive bands and check the world
+	// rebuilds its parallel marker at the matching widths, with stats
+	// identical to a pinned-serial world's.
+	prev := runtime.GOMAXPROCS(4) // the selection reads GOMAXPROCS, not nproc
+	defer runtime.GOMAXPROCS(prev)
+	w := newWorld(t, Config{InitialHeapBytes: 64 << 20, ReserveHeapBytes: 128 << 20, GCDivisor: -1})
+	var keep []mem.Addr
+	// ~12 MiB live: inside the [8MiB, 32MiB) band -> 2 workers.
+	for i := 0; i < 3*1024; i++ {
+		p, err := w.Allocate(1024, false)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		keep = append(keep, p)
+	}
+	root := rootHolder{addrs: keep}
+	w.SetMutator(&root)
+	w.Collect() // first cycle: serial (live estimate still 0)
+	if w.lastMarkWorkers != 1 {
+		t.Fatalf("first cycle used %d workers, want 1", w.lastMarkWorkers)
+	}
+	st := w.Collect() // live estimate now ~12MiB -> the 2-worker band
+	if w.lastMarkWorkers < 2 {
+		t.Fatalf("second cycle used %d workers, want >= 2", w.lastMarkWorkers)
+	}
+	if w.par == nil || w.parWorkers != w.lastMarkWorkers {
+		t.Fatalf("parallel marker not cached at the used width: par=%v workers=%d used=%d",
+			w.par != nil, w.parWorkers, w.lastMarkWorkers)
+	}
+	if st.Mark.ObjectsMarked != uint64(len(keep)) {
+		t.Fatalf("adaptive cycle marked %d objects, want %d", st.Mark.ObjectsMarked, len(keep))
+	}
+}
+
+// rootHolder is a minimal RootSource pinning addresses via registers.
+type rootHolder struct{ addrs []mem.Addr }
+
+func (r *rootHolder) Registers() []mem.Word {
+	regs := make([]mem.Word, len(r.addrs))
+	for i, a := range r.addrs {
+		regs[i] = mem.Word(a)
+	}
+	return regs
+}
+func (r *rootHolder) LiveStack() ([]mem.Word, mem.Addr) { return nil, 0 }
+func (r *rootHolder) OnAllocate()                       {}

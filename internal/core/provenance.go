@@ -223,9 +223,12 @@ type RetentionOptions struct {
 	// disables the per-slot analysis entirely).
 	TopRoots int
 	// Label, when non-nil, classifies each live object for the ByLabel
-	// breakdown (e.g. by workload structure). It is called with the
-	// world lock held: it must not call back into the World (read the
-	// heap via Heap/Space before asking for the report instead).
+	// breakdown (e.g. by workload structure). It is called after the
+	// report's marking passes finish, with the world lock released and
+	// the mutators resumed, so it may call back into the World (Load,
+	// WhyLive, ...) freely. Earlier versions invoked it under the lock —
+	// a Label that touched the World deadlocked; a regression test pins
+	// the fix (TestRetentionLabelMayCallWorld).
 	Label func(base mem.Addr) string
 }
 
@@ -368,6 +371,45 @@ func (img *rootImage) mark(m *mark.Marker) {
 // Cost: one full mark pass per distinct first-marking root slot, plus
 // two for the live/genuine passes.
 func (w *World) GetRetentionReport(opts RetentionOptions) RetentionReport {
+	rep, live, spur := w.retentionPasses(opts)
+	if opts.Label != nil {
+		// Labeling runs outside the world lock with the mutators resumed:
+		// the callback may call back into the World (see RetentionOptions).
+		byLabel := map[string]*LabelRetention{}
+		for _, o := range live {
+			bytes := uint64(o.words * mem.WordBytes)
+			lbl := opts.Label(o.base)
+			lc := byLabel[lbl]
+			if lc == nil {
+				lc = &LabelRetention{Label: lbl}
+				byLabel[lbl] = lc
+			}
+			lc.LiveObjects++
+			lc.LiveBytes += bytes
+			if spur[o.base] {
+				lc.SpuriousObjects++
+				lc.SpuriousBytes += bytes
+			}
+		}
+		for _, lc := range byLabel {
+			rep.ByLabel = append(rep.ByLabel, *lc)
+		}
+		sort.Slice(rep.ByLabel, func(i, j int) bool { return rep.ByLabel[i].Label < rep.ByLabel[j].Label })
+	}
+	return rep
+}
+
+// retainedObj is one live object the report's passes saw, for the
+// breakdowns computed after the lock is released.
+type retainedObj struct {
+	base  mem.Addr
+	words int
+}
+
+// retentionPasses runs the report's marking passes under the world
+// lock and returns the report (without ByLabel), the live objects, and
+// the spurious subset.
+func (w *World) retentionPasses(opts RetentionOptions) (RetentionReport, []retainedObj, map[mem.Addr]bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.stopMutatorsLocked()
@@ -376,6 +418,9 @@ func (w *World) GetRetentionReport(opts RetentionOptions) RetentionReport {
 		w.finishIncrementalLocked()
 	}
 	w.Heap.FinishSweep()
+	// Bump spans (LineAlloc) hold carved-but-unissued slots; return them
+	// so the report's passes see only real objects.
+	w.Heap.FlushSpans()
 
 	img := w.buildRootImageLocked()
 	// A private marker: the report's candidate tests must not pollute
@@ -484,12 +529,18 @@ func (w *World) GetRetentionReport(opts RetentionOptions) RetentionReport {
 	rep.GenuineObjects = rep.LiveObjects - rep.SpuriousObjects
 	rep.GenuineBytes = rep.LiveBytes - rep.SpuriousBytes
 
-	// Breakdowns over the live set.
+	// Size breakdown over the live set; the label breakdown waits for
+	// the lock to drop (the callback may re-enter the World).
 	bySize := map[int]*SizeClassRetention{}
-	byLabel := map[string]*LabelRetention{}
+	live := make([]retainedObj, 0, len(liveSet))
+	spur := make(map[mem.Addr]bool, len(spurSet))
 	for base, words := range liveSet {
 		bytes := uint64(words * mem.WordBytes)
 		_, spurious := spurSet[base]
+		live = append(live, retainedObj{base: base, words: words})
+		if spurious {
+			spur[base] = true
+		}
 		sc := bySize[words]
 		if sc == nil {
 			sc = &SizeClassRetention{Words: words}
@@ -501,32 +552,14 @@ func (w *World) GetRetentionReport(opts RetentionOptions) RetentionReport {
 			sc.SpuriousObjects++
 			sc.SpuriousBytes += bytes
 		}
-		if opts.Label != nil {
-			lbl := opts.Label(base)
-			lc := byLabel[lbl]
-			if lc == nil {
-				lc = &LabelRetention{Label: lbl}
-				byLabel[lbl] = lc
-			}
-			lc.LiveObjects++
-			lc.LiveBytes += bytes
-			if spurious {
-				lc.SpuriousObjects++
-				lc.SpuriousBytes += bytes
-			}
-		}
 	}
 	for _, sc := range bySize {
 		rep.BySize = append(rep.BySize, *sc)
 	}
 	sort.Slice(rep.BySize, func(i, j int) bool { return rep.BySize[i].Words < rep.BySize[j].Words })
-	for _, lc := range byLabel {
-		rep.ByLabel = append(rep.ByLabel, *lc)
-	}
-	sort.Slice(rep.ByLabel, func(i, j int) bool { return rep.ByLabel[i].Label < rep.ByLabel[j].Label })
 
 	w.Heap.ClearMarks()
 	w.tracer.Emit(trace.EvRetention,
 		int64(rep.LiveObjects), int64(rep.SpuriousObjects), int64(rep.RootSlots))
-	return rep
+	return rep, live, spur
 }

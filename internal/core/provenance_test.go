@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/mark"
@@ -448,5 +449,60 @@ func TestHeapSnapshotConsistency(t *testing.T) {
 		if snap.Provenance[i-1].Obj >= snap.Provenance[i].Obj {
 			t.Fatal("snapshot provenance is not sorted by object address")
 		}
+	}
+}
+
+// TestRetentionLabelMayCallWorld is the deadlock regression for the
+// RetentionOptions.Label contract: the callback runs with the world
+// lock released, so a Label that calls back into the World (here
+// World.Load, which takes w.mu) must complete rather than deadlock.
+// Before the fix the labeling loop ran inside GetRetentionReport's
+// critical section and this test hung.
+func TestRetentionLabelMayCallWorld(t *testing.T) {
+	w := newWorld(t, Config{GCDivisor: -1})
+	data := addData(t, w, "data", 0x2000, 4096)
+	const n = 24
+	provChain(t, w, data, 0x2000, n)
+	w.Collect()
+
+	done := make(chan RetentionReport, 1)
+	go func() {
+		done <- w.GetRetentionReport(RetentionOptions{
+			TopRoots: -1,
+			Label: func(base mem.Addr) string {
+				// Re-enter the world: Load locks w.mu.
+				v, err := w.Load(base)
+				if err != nil {
+					return "err"
+				}
+				if v == 0 {
+					return "tail"
+				}
+				return "cons"
+			},
+		})
+	}()
+	var rep RetentionReport
+	select {
+	case rep = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("GetRetentionReport deadlocked: Label called back into the World")
+	}
+	if rep.LiveObjects != n {
+		t.Fatalf("live = %d, want %d", rep.LiveObjects, n)
+	}
+	var cons, tail uint64
+	for _, lc := range rep.ByLabel {
+		switch lc.Label {
+		case "cons":
+			cons = lc.LiveObjects
+		case "tail":
+			tail = lc.LiveObjects
+		default:
+			t.Fatalf("unexpected label %q", lc.Label)
+		}
+	}
+	if cons != n-1 || tail != 1 {
+		t.Fatalf("by-label = %d cons + %d tail, want %d + 1", cons, tail, n-1)
 	}
 }

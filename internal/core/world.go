@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -143,13 +144,17 @@ type Config struct {
 	// active incremental cycle, in objects (default 64).
 	MarkQuantum int
 
-	// MarkWorkers sets the number of mark-phase workers (default 1 =
-	// serial marking, the original code path, unchanged). Values above 1
+	// MarkWorkers sets the number of mark-phase workers. Values above 1
 	// shard the stop-the-world mark phase across that many goroutines
 	// with CAS-set mark bits and work stealing (see internal/mark,
 	// parallel.go); the marked object set, byte counts and blacklisted
-	// pages are identical to a serial cycle's. Incremental cycles always
-	// mark serially: their bounded steps run inside the mutator.
+	// pages are identical to a serial cycle's. 1 forces serial marking
+	// (the original code path, unchanged). 0 — the default — is
+	// adaptive: each mark phase picks a count from runtime.GOMAXPROCS
+	// and the live heap size via AutoMarkWorkers, so small heaps mark
+	// serially (coordination would dominate) and large heaps on big
+	// machines parallelise without configuration. Incremental cycles
+	// always mark serially: their bounded steps run inside the mutator.
 	MarkWorkers int
 
 	// LazySweep moves sweep work out of the stop-the-world pause: after
@@ -162,6 +167,19 @@ type Config struct {
 	// only the timing of the per-slot work moves. Default off: the
 	// original eager sweep, unchanged.
 	LazySweep bool
+
+	// LineAlloc switches small untyped allocation to the line-structured
+	// bump profile (see alloc.Config.LineAlloc and alloc/lines.go):
+	// mutator caches hold {cursor, limit} bump spans carved over runs of
+	// wholly-free lines instead of slot runs, so the allocation fast
+	// path is a pointer increment with no heap access, and the sweep
+	// classifies blocks by line occupancy instead of threading free
+	// lists. Reclamation totals are identical to the free-list profile;
+	// on line-aligned size classes allocation addresses are too (the
+	// differential tests assert both). Incremental mode ignores it and
+	// keeps free lists — like the mutator fast path, the bump profile
+	// does not compose with per-allocation marking steps. Default off.
+	LineAlloc bool
 }
 
 func (c Config) withDefaults() Config {
@@ -195,10 +213,38 @@ func (c Config) withDefaults() Config {
 	if c.MarkQuantum == 0 {
 		c.MarkQuantum = 64
 	}
-	if c.MarkWorkers == 0 {
-		c.MarkWorkers = 1
-	}
+	// MarkWorkers 0 stays 0: the adaptive per-phase selection.
 	return c
+}
+
+// AutoMarkWorkers is the adaptive mark-worker selection used when
+// Config.MarkWorkers is 0: given the scheduler's processor count and
+// the live heap size (bytes live after the previous sweep), it returns
+// how many workers the next mark phase should use. Small heaps mark
+// serially — sharding a sub-8 MiB mark loses more to worker startup
+// and stealing than it gains — and larger heaps scale in powers of two
+// up to 8 workers, never beyond the processor count. The selection
+// table is pinned by TestAutoMarkWorkersTable.
+func AutoMarkWorkers(procs int, liveBytes uint64) int {
+	if procs <= 1 {
+		return 1
+	}
+	atMost := func(n int) int {
+		if n > procs {
+			return procs
+		}
+		return n
+	}
+	switch {
+	case liveBytes < 8<<20:
+		return 1
+	case liveBytes < 32<<20:
+		return atMost(2)
+	case liveBytes < 128<<20:
+		return atMost(4)
+	default:
+		return atMost(8)
+	}
 }
 
 // RootSource is the machine state the collector scans in addition to
@@ -287,9 +333,20 @@ type World struct {
 	// recorded into the next cycle's CollectionStats.
 	lastStopNs int64
 
-	cfg             Config
-	mut             RootSource
-	par             *mark.Parallel // non-nil iff cfg.MarkWorkers > 1
+	cfg Config
+	mut RootSource
+	// par is the cached parallel marker: non-nil once any mark phase
+	// has run with more than one worker. parWorkers is its worker
+	// count; with cfg.MarkWorkers == 0 (adaptive) the marker is
+	// rebuilt whenever AutoMarkWorkers picks a different count.
+	// lastMarkWorkers is what the most recent mark phase actually used
+	// (the mark_workers gauge).
+	par             *mark.Parallel
+	parWorkers      int
+	lastMarkWorkers int
+	// mcfg is the mark configuration NewWorld resolved; kept so the
+	// adaptive path can build parallel markers after construction.
+	mcfg            mark.Config
 	collections     int
 	minorsSinceFull int
 	incActive       bool
@@ -347,6 +404,9 @@ type worldMetrics struct {
 	stwStops, stwPauseNs           *metrics.Counter
 	cacheRefills, cacheRefillSlots *metrics.Counter
 	cacheFlushSlots                *metrics.Counter
+	// Bump-span refill counters (Config.LineAlloc), the line profile's
+	// analogue of the cache refill counters above.
+	spanRefills, spanRefillSlots *metrics.Counter
 
 	// Provenance counters: cycles that recorded, and the first-mark
 	// records they captured (running sums of CollectionStats.Provenance
@@ -366,6 +426,12 @@ type worldMetrics struct {
 	bytesAllocated, objectsAllocated  *metrics.Gauge
 	heapExpansions, desperateAllocs   *metrics.Gauge
 	markWorkers, mutators             *metrics.Gauge
+	// Line-heap utilization gauges (zero unless Config.LineAlloc):
+	// wholly-free (carvable) lines, lines holding an allocated slot,
+	// and the bytes stranded in partially-occupied lines — the
+	// paper-style space-overhead view of bump allocation.
+	lineLiveLines, lineFreeLines *metrics.Gauge
+	lineWasteBytes               *metrics.Gauge
 }
 
 func newWorldMetrics() worldMetrics {
@@ -390,6 +456,8 @@ func newWorldMetrics() worldMetrics {
 		cacheRefills:       reg.Counter("cache_refills"),
 		cacheRefillSlots:   reg.Counter("cache_refill_slots"),
 		cacheFlushSlots:    reg.Counter("cache_flush_slots"),
+		spanRefills:        reg.Counter("span_refills"),
+		spanRefillSlots:    reg.Counter("span_refill_slots"),
 		provCycles:         reg.Counter("provenance_cycles"),
 		provRecords:        reg.Counter("provenance_records"),
 		markHist:           reg.Histogram("mark_pause_ns_hist"),
@@ -409,6 +477,9 @@ func newWorldMetrics() worldMetrics {
 		desperateAllocs:    reg.Gauge("desperate_allocs"),
 		markWorkers:        reg.Gauge("mark_workers"),
 		mutators:           reg.Gauge("mutators"),
+		lineLiveLines:      reg.Gauge("line_live_lines"),
+		lineFreeLines:      reg.Gauge("line_free_lines"),
+		lineWasteBytes:     reg.Gauge("line_waste_bytes"),
 	}
 }
 
@@ -485,7 +556,13 @@ func (w *World) syncGauges() {
 	m.objectsAllocated.Set(int64(st.ObjectsAllocated))
 	m.heapExpansions.Set(int64(st.Expansions))
 	m.desperateAllocs.Set(int64(st.DesperateAllocs))
-	m.markWorkers.Set(int64(w.cfg.MarkWorkers))
+	m.markWorkers.Set(int64(w.lastMarkWorkers))
+	if w.cfg.LineAlloc {
+		ls := w.Heap.LineStats()
+		m.lineLiveLines.Set(int64(ls.LiveLines))
+		m.lineFreeLines.Set(int64(ls.FreeLines))
+		m.lineWasteBytes.Set(int64(ls.WasteBytes))
+	}
 }
 
 // recordCycle folds one completed collection into the counters. Plain
@@ -608,6 +685,12 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 	if c.DiscontiguousGrowth && c.Blacklisting == BlacklistDense {
 		return nil, fmt.Errorf("core: a discontinuous heap needs the hashed blacklist (paper, section 3)")
 	}
+	if c.Incremental {
+		// The bump profile does not compose with per-allocation marking
+		// steps (like the mutator fast path, which incremental mode also
+		// forgoes); the stored cfg is the effective one everywhere.
+		c.LineAlloc = false
+	}
 	heap, err := alloc.New(space, alloc.Config{
 		HeapBase:                 c.HeapBase,
 		InitialBytes:             c.InitialHeapBytes,
@@ -621,6 +704,7 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 		SkipPageBoundarySlot:     c.SkipPageBoundarySlot,
 		DiscontiguousGrowth:      c.DiscontiguousGrowth,
 		LazySweep:                c.LazySweep,
+		LineAlloc:                c.LineAlloc,
 	})
 	if err != nil {
 		return nil, err
@@ -632,14 +716,28 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 		Marker:      mark.New(heap, mcfg),
 		Blacklist:   bl,
 		cfg:         c,
+		mcfg:        mcfg,
 		finalizable: map[mem.Addr]struct{}{},
 		met:         newWorldMetrics(),
 		epoch:       time.Now(),
 	}
 	if c.MarkWorkers > 1 {
 		w.par = mark.NewParallel(heap, mcfg, c.MarkWorkers)
+		w.parWorkers = c.MarkWorkers
 	}
+	w.lastMarkWorkers = w.effectiveMarkWorkers()
 	return w, nil
+}
+
+// effectiveMarkWorkers resolves the worker count the next mark phase
+// will use: the configured count when pinned, otherwise the adaptive
+// pick from the scheduler's processor count and the live bytes the
+// previous sweep measured (so a world's first cycle marks serially).
+func (w *World) effectiveMarkWorkers() int {
+	if w.cfg.MarkWorkers > 0 {
+		return w.cfg.MarkWorkers
+	}
+	return AutoMarkWorkers(runtime.GOMAXPROCS(0), w.Heap.Stats().BytesLive)
 }
 
 // Config returns the world's effective configuration.
@@ -845,7 +943,9 @@ func (w *World) markRoots() {
 // and the blacklisted pages match the serial run bit for bit.
 func (w *World) markPhase(minor bool) (mark.Stats, int) {
 	dirty := 0
-	if w.par == nil {
+	workers := w.effectiveMarkWorkers()
+	w.lastMarkWorkers = workers
+	if workers <= 1 {
 		w.Marker.Reset()
 		if w.prov.enabled {
 			w.Marker.StartRecording()
@@ -862,6 +962,15 @@ func (w *World) markPhase(minor bool) (mark.Stats, int) {
 		w.markRoots()
 		w.Marker.Drain()
 		return w.Marker.Stats(), dirty
+	}
+	if w.par == nil || w.parWorkers != workers {
+		// Adaptive selection changed its mind (the live heap crossed a
+		// band, or GOMAXPROCS moved): rebuild the sharded marker at the
+		// new width. Steal counters start over with it.
+		w.par = mark.NewParallel(w.Heap, w.mcfg, workers)
+		w.parWorkers = workers
+		w.prevSteals = 0
+		w.par.SetTracer(w.tracer)
 	}
 	if w.prov.enabled {
 		w.par.StartRecording()
@@ -925,13 +1034,16 @@ func (w *World) collectLocked() CollectionStats {
 	// before mark bits change: a pending block's bits still encode that
 	// cycle's liveness. No-op with LazySweep off.
 	w.Heap.FinishSweep()
+	// Central bump spans hold carved-but-unissued slots whose alloc bits
+	// would read as live objects; return them before any bit changes.
+	w.Heap.FlushSpans()
 	w.Blacklist.BeginCycle()
 	if w.cfg.Generational {
 		// Mark bits are sticky between minor cycles; a full collection
 		// starts from a clean slate.
 		w.Heap.ClearMarks()
 	}
-	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.cfg.MarkWorkers), 0)
+	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.effectiveMarkWorkers()), 0)
 	markStart := time.Now()
 	mstats, _ := w.markPhase(false)
 	pauseMark := time.Since(markStart)
@@ -1051,10 +1163,11 @@ func (w *World) collectMinorLocked() CollectionStats {
 	start := time.Now()
 	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 1)
 	// See Collect: the previous cycle's deferred sweeps must land before
-	// this cycle's marks.
+	// this cycle's marks, and central bump spans must be returned.
 	w.Heap.FinishSweep()
+	w.Heap.FlushSpans()
 	w.Blacklist.BeginCycle()
-	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.cfg.MarkWorkers), 1)
+	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.effectiveMarkWorkers()), 1)
 	markStart := time.Now()
 	mstats, dirty := w.markPhase(true)
 	pauseMark := time.Since(markStart)
@@ -1113,7 +1226,8 @@ func (w *World) MarkOnly() (objects, bytes uint64) {
 		w.finishIncrementalLocked()
 	}
 	w.Heap.FinishSweep() // pending bits are the previous cycle's, not this one's
-	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.cfg.MarkWorkers), 0)
+	w.Heap.FlushSpans()  // carved-but-unissued span slots are not accessible objects
+	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.effectiveMarkWorkers()), 0)
 	mstats, _ := w.markPhase(false)
 	w.traceMarkEnd(mstats)
 	objects, bytes = w.Heap.CountMarked()

@@ -104,6 +104,10 @@ const (
 	// objects attributed as spuriously retained, A2 root slots analysed
 	// for sole retention.
 	EvRetention
+	// EvSpanRefill records the carve of one bump span over a run of free
+	// lines (Config.LineAlloc). A0 span base address, A1 slots in the
+	// span, A2 object words per slot.
+	EvSpanRefill
 
 	numKinds // sentinel: keep last
 )
@@ -128,6 +132,7 @@ var kindNames = [numKinds]string{
 	EvCacheRefill:    "cache_refill",
 	EvProvenance:     "provenance",
 	EvRetention:      "retention",
+	EvSpanRefill:     "span_refill",
 }
 
 func (k Kind) String() string {

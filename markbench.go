@@ -32,6 +32,10 @@ type MarkBenchRow struct {
 	// "speedup" there is scheduler noise presented as a result.
 	Speedup        float64 `json:"speedup_vs_serial"`
 	Oversubscribed bool    `json:"oversubscribed"`
+	// GoMaxProcs records the scheduler width the row ran under; the
+	// regression gate treats timing columns as advisory when baseline
+	// and candidate rows disagree here.
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // MarkBenchResult is the full measurement with the environment it ran
@@ -122,6 +126,7 @@ func MarkBench(opts MarkBenchOptions) (*MarkBenchResult, *stats.Table, error) {
 			ObjectsMarked:  objs,
 			Speedup:        speedup,
 			Oversubscribed: over,
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
 		})
 	}
 	tab := stats.NewTable(

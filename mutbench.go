@@ -40,6 +40,10 @@ type MutBenchRow struct {
 	// GOMAXPROCS) report 0, as in MarkBench.
 	Speedup        float64 `json:"speedup_vs_serial"`
 	Oversubscribed bool    `json:"oversubscribed"`
+	// GoMaxProcs records the scheduler width the row ran under; the
+	// regression gate treats timing columns as advisory when baseline
+	// and candidate rows disagree here.
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // MutBenchResult is the full measurement with the environment it ran
@@ -153,6 +157,7 @@ func MutBench(opts MutBenchOptions) (*MutBenchResult, *stats.Table, error) {
 			Collections:      w.Collections(),
 			Speedup:          speedup,
 			Oversubscribed:   over,
+			GoMaxProcs:       runtime.GOMAXPROCS(0),
 		})
 	}
 	tab := stats.NewTable(

@@ -90,6 +90,10 @@ type (
 	BlacklistStats = blacklist.Stats
 	// AllocStats reports allocator activity.
 	AllocStats = alloc.Stats
+	// LineStats is the line-heap space accounting (Config.LineAlloc).
+	LineStats = alloc.LineStats
+	// SpaceBreakdown buckets every committed heap byte exactly.
+	SpaceBreakdown = alloc.SpaceBreakdown
 	// FreeBlockPolicy selects free-block management.
 	FreeBlockPolicy = alloc.FreeBlockPolicy
 )

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/stats"
@@ -35,10 +36,16 @@ type RetentionBenchRow struct {
 	TopSoleObjects    uint64  `json:"top_sole_objects"`
 	ProvenanceRecords uint64  `json:"provenance_records"`
 	ReportMs          float64 `json:"report_ms"`
+	// GoMaxProcs records the scheduler width the row ran under; the
+	// regression gate treats timing columns as advisory when baseline
+	// and candidate rows disagree here.
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // RetentionBenchResult is the full measurement.
 type RetentionBenchResult struct {
+	GoMaxProcs    int                 `json:"gomaxprocs"`
+	NumCPU        int                 `json:"numcpu"`
 	Rounds        int                 `json:"rounds"`
 	StepsPerRound int                 `json:"steps_per_round"`
 	GCTrace       string              `json:"gctrace_summary"`
@@ -90,7 +97,10 @@ func RetentionBench(opts RetentionBenchOptions) (*RetentionBenchResult, *stats.T
 	slotAddr := frame.Addr(0)
 	w.EnableProvenance(true)
 
-	res := &RetentionBenchResult{Rounds: opts.Rounds, StepsPerRound: opts.Steps}
+	res := &RetentionBenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Rounds: opts.Rounds, StepsPerRound: opts.Steps,
+	}
 	cur := first
 	for round := 1; round <= opts.Rounds; round++ {
 		for i := 0; i < opts.Steps; i++ {
@@ -122,6 +132,7 @@ func RetentionBench(opts RetentionBenchOptions) (*RetentionBenchResult, *stats.T
 			TopSoleObjects:    topSole,
 			ProvenanceRecords: st.ProvenanceRecords,
 			ReportMs:          reportMs,
+			GoMaxProcs:        runtime.GOMAXPROCS(0),
 		})
 	}
 	res.GCTrace = w.GCTraceSummary()

@@ -38,6 +38,10 @@ type SweepBenchRow struct {
 	// it never changes what is reclaimed.
 	ObjectsFreed uint64 `json:"objects_freed"`
 	BytesFreed   uint64 `json:"bytes_freed"`
+	// GoMaxProcs records the scheduler width the row ran under; the
+	// regression gate treats timing columns as advisory when baseline
+	// and candidate rows disagree here.
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // SweepBenchResult is the full measurement with the environment it ran
@@ -58,7 +62,7 @@ type SweepBenchResult struct {
 // sweepBenchRun drives one world through the churn schedule and
 // aggregates its collection pauses.
 func sweepBenchRun(mode string, lazy bool, opts SweepBenchOptions) (SweepBenchRow, error) {
-	row := SweepBenchRow{Mode: mode, Cycles: opts.Cycles}
+	row := SweepBenchRow{Mode: mode, Cycles: opts.Cycles, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	w, err := NewWorld(Config{
 		InitialHeapBytes: 16 << 20, ReserveHeapBytes: 32 << 20,
 		GCDivisor: -1, LazySweep: lazy,
