@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench soak benchgate heapdump-smoke fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench pausebench soak benchgate heapdump-smoke fuzz-smoke
 
 ci: fmt vet build test race
 
@@ -68,6 +68,13 @@ retentionbench:
 allocbench:
 	$(GO) run ./cmd/gcbench -experiment allocbench -mutators 1,8 -benchjson BENCH_5.json
 
+# Regenerates BENCH_6.json (stop-the-world vs mostly-concurrent marking
+# pause percentiles under 8 mutators). Object and live counts are exact
+# invariants; pause percentiles and the concurrent p99 reduction are
+# advisory timing.
+pausebench:
+	$(GO) run ./cmd/gcbench -experiment pausebench -mutators 8 -benchjson BENCH_6.json
+
 # Multi-mutator soak: many allocation/collection rounds against one
 # generational + lazy-sweep world, with a full allocator integrity
 # audit after every round. Not part of `make ci`; run it when touching
@@ -88,6 +95,7 @@ benchgate:
 	$(GO) run ./cmd/benchgate -baseline BENCH_3.json -tolerance $(BENCHGATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_4.json -tolerance $(BENCHGATE_TOLERANCE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_5.json -tolerance $(BENCHGATE_TOLERANCE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_6.json -tolerance $(BENCHGATE_TOLERANCE)
 
 # Self-checking retention demo: plant a false stack reference retaining
 # a lazy stream (paper, section 4) and assert that the retention report
@@ -106,3 +114,4 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz '^FuzzMarkWords$$' -fuzztime $(FUZZTIME) ./internal/mark
 	$(GO) test -run XXX -fuzz '^FuzzConcurrentAlloc$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run XXX -fuzz '^FuzzLineAlloc$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run XXX -fuzz '^FuzzConcurrentMark$$' -fuzztime $(FUZZTIME) ./internal/core

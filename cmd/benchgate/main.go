@@ -14,7 +14,8 @@
 // The baseline schema is detected from its rows: rows keyed by
 // "workers" are a markbench result, rows keyed by "mode" are a
 // sweepbench result, rows keyed by "mutators" are a mutbench result,
-// rows keyed by "round" are a retention result.
+// rows keyed by "pause_mode" are a pausebench result, rows keyed by
+// "round" are a retention result.
 // A machine-readable JSON report goes to stdout.
 // Exit status: 0 pass, 1 regression, 2 usage or I/O error.
 //
@@ -29,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro"
 )
@@ -304,6 +306,66 @@ func CompareRetention(base, cand *repro.RetentionBenchResult, tol float64) *Repo
 	return rep.finish()
 }
 
+// ComparePause gates a candidate pausebench result against a
+// baseline. Rows are matched by pause mode ("stw"/"concurrent"). The
+// workload is a deterministic no-free tape, so the per-row object and
+// live counts are exact invariants; pause percentiles are timing,
+// gated only when neither side is oversubscribed. The concurrent p99
+// reduction over stop-the-world — the tentpole's headline — is
+// reported as an always-advisory check (candidate ratio against the
+// 5x design target): pause ratios measure the machine's scheduler as
+// much as the collector, so they never hard-fail CI.
+func ComparePause(base, cand *repro.PauseBenchResult, tol float64) *Report {
+	rep := &Report{Schema: "pausebench", Tolerance: tol}
+	type key struct {
+		mode  string
+		width int
+	}
+	byKey := make(map[key]repro.PauseBenchRow)
+	var widths []int
+	for _, row := range cand.Rows {
+		if _, seen := byKey[key{"stw", row.GoMaxProcs}]; !seen {
+			if _, seen := byKey[key{"concurrent", row.GoMaxProcs}]; !seen {
+				widths = append(widths, row.GoMaxProcs)
+			}
+		}
+		byKey[key{row.PauseMode, row.GoMaxProcs}] = row
+	}
+	sort.Ints(widths)
+	for _, b := range base.Rows {
+		c, ok := byKey[key{b.PauseMode, b.GoMaxProcs}]
+		name := fmt.Sprintf("%s/gomaxprocs=%d", b.PauseMode, b.GoMaxProcs)
+		if !ok {
+			rep.Checks = append(rep.Checks, Check{
+				Name: name + "/present", Kind: "invariant",
+				Baseline: 1, Candidate: 0, Limit: 1, Pass: false,
+			})
+			continue
+		}
+		rep.invariantCheck(name+"/objects_allocated",
+			float64(b.ObjectsAllocated), float64(c.ObjectsAllocated))
+		rep.invariantCheck(name+"/objects_live",
+			float64(b.ObjectsLive), float64(c.ObjectsLive))
+		if !b.Oversubscribed && !c.Oversubscribed {
+			rep.timeCheckGMP(name+"/pause_p50_ns", b.PauseP50Ns, c.PauseP50Ns, b.GoMaxProcs, c.GoMaxProcs)
+			rep.timeCheckGMP(name+"/pause_p99_ns", b.PauseP99Ns, c.PauseP99Ns, b.GoMaxProcs, c.GoMaxProcs)
+			rep.timeCheckGMP(name+"/pause_max_ns", b.PauseMaxNs, c.PauseMaxNs, b.GoMaxProcs, c.GoMaxProcs)
+		}
+	}
+	for _, w := range widths {
+		stw, conc := byKey[key{"stw", w}], byKey[key{"concurrent", w}]
+		if stw.PauseP99Ns > 0 && conc.PauseP99Ns > 0 {
+			rep.Checks = append(rep.Checks, Check{
+				Name:     fmt.Sprintf("concurrent/gomaxprocs=%d/p99_reduction_x", w),
+				Kind:     "time-advisory",
+				Baseline: 5, Candidate: stw.PauseP99Ns / conc.PauseP99Ns,
+				Limit: 0, Pass: true,
+			})
+		}
+	}
+	return rep.finish()
+}
+
 // detectSchema classifies a benchmark JSON by its first row's keys.
 func detectSchema(data []byte) (string, error) {
 	var probe struct {
@@ -314,6 +376,10 @@ func detectSchema(data []byte) (string, error) {
 	}
 	if len(probe.Rows) == 0 {
 		return "", fmt.Errorf("no rows")
+	}
+	if _, ok := probe.Rows[0]["pause_mode"]; ok {
+		// Before the generic "mutators" probe: pause rows carry both.
+		return "pausebench", nil
 	}
 	if _, ok := probe.Rows[0]["mode"]; ok {
 		return "sweepbench", nil
@@ -330,7 +396,7 @@ func detectSchema(data []byte) (string, error) {
 	if _, ok := probe.Rows[0]["round"]; ok {
 		return "retention", nil
 	}
-	return "", fmt.Errorf("rows have no \"mode\", \"workers\", \"profile\", \"mutators\" or \"round\" keys")
+	return "", fmt.Errorf("rows have no \"pause_mode\", \"mode\", \"workers\", \"profile\", \"mutators\" or \"round\" keys")
 }
 
 // Gate loads the baseline, obtains a candidate (from candidatePath or a
@@ -473,6 +539,34 @@ func Gate(baselinePath, candidatePath string, tol float64) (*Report, error) {
 			cand = *res
 		}
 		return CompareAlloc(&base, &cand, tol), nil
+	case "pausebench":
+		var base repro.PauseBenchResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, err
+		}
+		var cand repro.PauseBenchResult
+		if candData != nil {
+			if err := json.Unmarshal(candData, &cand); err != nil {
+				return nil, err
+			}
+		} else {
+			var widths []int
+			seen := map[int]bool{}
+			for _, r := range base.Rows {
+				if !seen[r.GoMaxProcs] {
+					seen[r.GoMaxProcs] = true
+					widths = append(widths, r.GoMaxProcs)
+				}
+			}
+			res, _, err := repro.PauseBench(repro.PauseBenchOptions{
+				Mutators: base.Mutators, Ops: base.Ops, Widths: widths,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cand = *res
+		}
+		return ComparePause(&base, &cand, tol), nil
 	case "retention":
 		var base repro.RetentionBenchResult
 		if err := json.Unmarshal(baseData, &base); err != nil {

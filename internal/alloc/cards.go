@@ -22,13 +22,18 @@ import (
 // mark bits.
 
 // MarkDirty records a mutation of the block containing a (which must be
-// a committed heap address; other addresses are ignored).
-func (a *Allocator) MarkDirty(addr mem.Addr) {
+// a committed heap address; other addresses are ignored). It reports
+// whether the block was newly dirtied — the concurrent-mark barrier
+// counts those transitions without a separate lookup.
+func (a *Allocator) MarkDirty(addr mem.Addr) bool {
 	if !a.InCommitted(addr) {
-		return
+		return false
 	}
 	bi := a.blockIndex(addr)
-	a.dirty[bi>>6] |= 1 << (uint(bi) & 63)
+	bit := uint64(1) << (uint(bi) & 63)
+	was := a.dirty[bi>>6]
+	a.dirty[bi>>6] = was | bit
+	return was&bit == 0
 }
 
 // DirtyBlocks calls fn with each dirty block index.

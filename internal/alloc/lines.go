@@ -374,6 +374,13 @@ func (a *Allocator) ReturnSpan(cursor, limit mem.Addr) int {
 	s0 := int(cursor-a.blockBase(bi)) / slotBytes
 	for i := 0; i < n; i++ {
 		bitClear(b.allocBits, s0+i)
+		// Drop any mark bit too (born-grey carves and conservative
+		// mid-cycle hits both set them): a returned slot must not count
+		// toward markedCount, which sweeps treat as the live survey.
+		if bitGet(b.markBits, s0+i) {
+			bitClear(b.markBits, s0+i)
+			b.markedCount--
+		}
 	}
 	b.liveSlots -= int32(n)
 	b.lineLive = a.lineLiveOf(bi)

@@ -110,7 +110,17 @@ func (a *Allocator) ReturnRun(nwords int, atomic bool, run []mem.Addr) {
 		p := run[i]
 		bi := a.blockIndex(p)
 		b := &a.blocks[bi]
-		bitClear(b.allocBits, int(p-a.blockBase(bi))/(words*mem.WordBytes))
+		slot := int(p-a.blockBase(bi)) / (words * mem.WordBytes)
+		bitClear(b.allocBits, slot)
+		// A returned slot may carry a mark bit: born-grey allocation
+		// marks whole carved runs during a concurrent cycle, and a
+		// conservative root can mark an outstanding slot mid-cycle.
+		// Clear it, or markedCount would overstate the live survey the
+		// next sweep bases its accounting on.
+		if bitGet(b.markBits, slot) {
+			bitClear(b.markBits, slot)
+			b.markedCount--
+		}
 		b.liveSlots--
 		a.storeWord(p, mem.Word(a.freeList[idx]))
 		a.freeList[idx] = p

@@ -112,6 +112,13 @@ func TestConcurrentMutatorBattery(t *testing.T) {
 		"line":          {GCDivisor: 6, LineAlloc: true},
 		"line-gen-lazy": {Generational: true, MinorDivisor: 6, FullEvery: 3, LazySweep: true, LineAlloc: true},
 		"line-par-lazy": {GCDivisor: 6, MarkWorkers: 4, LazySweep: true, LineAlloc: true},
+		// Concurrent marking: cycles trigger on allocation pressure and
+		// mark on a background driver goroutine while the battery's
+		// mutators keep storing through the insertion barrier.
+		"conc":          {ConcurrentMark: true, GCDivisor: 6},
+		"conc-par":      {ConcurrentMark: true, GCDivisor: 6, MarkWorkers: 4, LazySweep: true},
+		"conc-gen-lazy": {ConcurrentMark: true, Generational: true, MinorDivisor: 6, FullEvery: 3, LazySweep: true},
+		"conc-line":     {ConcurrentMark: true, GCDivisor: 6, LineAlloc: true},
 	}
 	const nMut = 8
 	ops := 400

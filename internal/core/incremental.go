@@ -47,6 +47,10 @@ func (w *World) stwStartIncremental() error {
 	// Deferred lazy sweeps hold the previous cycle's liveness in their
 	// mark bits; they must land before this cycle marks anything.
 	w.Heap.FinishSweep()
+	// Central bump spans (LineAlloc) hold carved-but-unissued slots
+	// whose alloc bits would read as live objects; return them before
+	// the cycle observes any bits.
+	w.Heap.FlushSpans()
 	w.Blacklist.BeginCycle()
 	w.Marker.Reset()
 	if w.prov.enabled {
@@ -130,6 +134,10 @@ func (w *World) finishIncrementalLocked() CollectionStats {
 	}
 	w.traceSweepBegin(2)
 	sweepStart := time.Now()
+	// Spans carved since the cycle started hold unissued slots; return
+	// them so the sweep's alloc-bit survey matches reality (returned
+	// slots also drop any conservative mark they picked up mid-cycle).
+	w.Heap.FlushSpans()
 	sweep := w.Heap.Sweep()
 	pauseSweep := time.Since(sweepStart)
 	w.Heap.ResetSinceGC()

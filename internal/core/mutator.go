@@ -272,6 +272,17 @@ func (m *Mutator) allocateSlow(nwords int, atomic bool, dst *mem.Segment, at mem
 				c.cursor = s.Cursor + slotBytes
 				c.limit = s.Limit
 				carved = true
+				if w.concActive {
+					// Born black: a concurrent cycle is marking while this
+					// span sits in the cache, and the finale must not sweep
+					// slots the fast path hands out after the snapshot.
+					// Carved slots are zeroed, so marking without scanning
+					// is sound; ReturnSpan unmarks whatever the flush gives
+					// back.
+					for p := s.Cursor; p < s.Limit; p += slotBytes {
+						w.Heap.Mark(p)
+					}
+				}
 				m.recordSpanRefillLocked(idx, int((s.Limit-s.Cursor)/slotBytes), words)
 				return s.Cursor, nil
 			}
@@ -284,6 +295,15 @@ func (m *Mutator) allocateSlow(nwords int, atomic bool, dst *mem.Segment, at mem
 				c.run = run
 				c.next = 1
 				carved = true
+				if w.concActive {
+					// Born black (see the span carve above): carved slots
+					// are zeroed, so the finale's sweep must not reclaim
+					// what the fast path hands out mid-cycle; ReturnRun
+					// unmarks the flushed remainder.
+					for _, s := range run {
+						w.Heap.Mark(s)
+					}
+				}
 				m.recordRefillLocked(idx, len(run), words)
 				return run[0], nil
 			}
@@ -433,6 +453,15 @@ func (m *Mutator) resyncLocked() {
 	cfg := &m.w.cfg
 	if cfg.Incremental {
 		// Incremental mode never uses the fast path; no trigger needed.
+		return
+	}
+	if m.w.concActive {
+		// A concurrent cycle is in flight: BytesSinceGC keeps growing
+		// until the finale resets it, so any trigger armed now would fire
+		// on the very next fast-path allocation and divert every
+		// allocation to the slow path for the rest of the cycle. The
+		// barrier and born-black carves keep the fast path sound without
+		// a trigger; the first slow path after the finale re-arms it.
 		return
 	}
 	if cfg.Generational && cfg.MinorDivisor > 0 {

@@ -69,33 +69,41 @@ func (w *World) ProvenanceFor(addr mem.Addr) (mark.ParentRecord, bool) {
 }
 
 // harvestProvenance collects the just-finished cycle's records from
-// whichever recorder marked it (the parallel workers for sharded
-// phases, the serial marker otherwise — incremental cycles always mark
-// serially) into the per-object map. kind is the trace cycle kind
-// (0 full, 1 generational minor, 2 incremental); minors merge, the
-// rest rebuild. Returns the record count for CollectionStats. Callers
-// hold w.mu.
+// whichever recorders marked it into the per-object map. STW sharded
+// phases record on the parallel workers, serial phases (including
+// incremental cycles) on the serial marker; concurrent cycles record on
+// both — the snapshot and finale root scans mark serially, the
+// background chunks in parallel — and the mark-bit first-win rule keeps
+// the merged set duplicate-free. kind is the trace cycle kind (0 full,
+// 1 generational minor, 2 incremental, 3 concurrent full, 4 concurrent
+// minor); minors merge, the rest rebuild. Returns the record count for
+// CollectionStats. Callers hold w.mu.
 func (w *World) harvestProvenance(kind int64) uint64 {
 	if !w.prov.enabled {
 		return 0
 	}
+	recording := false
 	var recs []mark.ParentRecord
-	switch {
-	case w.par != nil && w.par.Recording():
-		recs = w.par.StopRecording()
-	case w.Marker.Recording():
-		recs = w.Marker.StopRecording()
-	default:
+	if w.par != nil && w.par.Recording() {
+		recording = true
+		recs = append(recs, w.par.StopRecording()...)
+	}
+	if w.Marker.Recording() {
+		recording = true
+		recs = append(recs, w.Marker.StopRecording()...)
+	}
+	if !recording {
 		// Enabled after this cycle's mark phase started: nothing recorded.
 		return 0
 	}
-	if kind != 1 || w.prov.records == nil {
+	minor := kind == 1 || kind == 4
+	if !minor || w.prov.records == nil {
 		w.prov.records = make(map[mem.Addr]mark.ParentRecord, len(recs))
 	}
 	for _, r := range recs {
 		w.prov.records[r.Obj] = r
 	}
-	if kind == 1 {
+	if minor {
 		// A minor cycle's sweep may have freed young objects recorded by
 		// an earlier cycle; sticky mark bits identify the survivors.
 		for obj := range w.prov.records {
@@ -416,6 +424,9 @@ func (w *World) retentionPasses(opts RetentionOptions) (RetentionReport, []retai
 	defer w.resumeMutatorsLocked()
 	if w.incActive {
 		w.finishIncrementalLocked()
+	}
+	if w.concActive {
+		w.finishConcurrentLocked()
 	}
 	w.Heap.FinishSweep()
 	// Bump spans (LineAlloc) hold carved-but-unissued slots; return them

@@ -141,8 +141,26 @@ type Config struct {
 	// Generational.
 	Incremental bool
 	// MarkQuantum bounds the marking work per allocation during an
-	// active incremental cycle, in objects (default 64).
+	// active incremental cycle, in objects (default 64). Concurrent
+	// cycles use it twice over: as the background driver's per-chunk
+	// scan budget, and as the allocation-proportional assist each
+	// slow-path allocation contributes to an in-flight cycle, which
+	// keeps marking paced with allocation even when the driver
+	// goroutine is starved of processor time. The cached fast path
+	// never assists.
 	MarkQuantum int
+
+	// ConcurrentMark enables mostly-concurrent cycles (see
+	// concurrent.go): a cycle opens with a short snapshot pause that
+	// scans the roots and resumes the mutators, marking then runs on a
+	// background goroutine (parallel across MarkWorkers when the width
+	// allows) while mutators keep allocating, and a bounded final pause
+	// rescans write-barrier-dirtied blocks, re-scans the roots, drains,
+	// and sweeps. Composes with Generational (minor cycles run
+	// concurrently too), LazySweep and LineAlloc. Mutually exclusive
+	// with Incremental, which is the single-threaded ancestor of the
+	// same state machine.
+	ConcurrentMark bool
 
 	// MarkWorkers sets the number of mark-phase workers. Values above 1
 	// shard the stop-the-world mark phase across that many goroutines
@@ -176,9 +194,11 @@ type Config struct {
 	// classifies blocks by line occupancy instead of threading free
 	// lists. Reclamation totals are identical to the free-list profile;
 	// on line-aligned size classes allocation addresses are too (the
-	// differential tests assert both). Incremental mode ignores it and
-	// keeps free lists — like the mutator fast path, the bump profile
-	// does not compose with per-allocation marking steps. Default off.
+	// differential tests assert both). Composes with every cycle shape,
+	// including incremental and concurrent cycles: outstanding central
+	// spans are flushed at each cycle's start and finale, and returned
+	// span slots drop any conservative mark they picked up mid-cycle.
+	// Default off.
 	LineAlloc bool
 }
 
@@ -287,6 +307,20 @@ type CollectionStats struct {
 	// how many bounded marking steps preceded the finale.
 	Incremental bool
 	Steps       int
+	// Concurrent is true when the cycle ran mostly-concurrently:
+	// a snapshot pause, background marking, a bounded final pause.
+	// RescanPasses is how many concurrent dirty-block rescan passes ran
+	// before the finale; FinalDirtyBlocks how many dirty blocks the
+	// final pause itself rescanned; MarkedConcurrent how many objects
+	// were marked outside the two pauses (the >90% acceptance metric).
+	Concurrent       bool
+	RescanPasses     int
+	FinalDirtyBlocks int
+	MarkedConcurrent uint64
+	// PauseSnapshotNs and PauseFinalNs are the concurrent cycle's two
+	// stop-the-world windows; Duration is their sum for such cycles.
+	PauseSnapshotNs int64
+	PauseFinalNs    int64
 	// PauseMarkNs is the part of the pause spent in the mark phase
 	// (for incremental cycles: the finale's rescan and drain only).
 	PauseMarkNs int64
@@ -351,6 +385,28 @@ type World struct {
 	minorsSinceFull int
 	incActive       bool
 	incSteps        int
+	// Concurrent-cycle state (concurrent.go). concActive marks a cycle
+	// in flight; concMinor its generational kind; concPar whether it
+	// marks through w.par (width was > 1 at the snapshot); concGen is a
+	// staleness counter so a background driver from a finished cycle
+	// exits instead of driving the next one; concPasses counts the
+	// concurrent rescan passes run so far; concDirty is the serial
+	// width's staged dirty-block rescan queue; concDirtyBlocks the
+	// minor snapshot's remembered-set size; concSnapMarked the objects
+	// marked inside the snapshot pause; concStart/concSnapNs anchor the
+	// cycle's pause accounting; concStealsStart snapshots the parallel
+	// marker's cumulative steal count at the cycle start.
+	concActive      bool
+	concMinor       bool
+	concPar         bool
+	concGen         uint64
+	concPasses      int
+	concDirty       []int
+	concDirtyBlocks int
+	concSnapMarked  uint64
+	concStart       time.Time
+	concSnapNs      int64
+	concStealsStart uint64
 	last            CollectionStats
 	finalizable     map[mem.Addr]struct{}
 	reclaimed       []mem.Addr
@@ -398,6 +454,12 @@ type worldMetrics struct {
 	pauseNs, markPauseNs, sweepNs  *metrics.Counter
 	markSteals                     *metrics.Counter
 
+	// Concurrent-mark counters: cycles run concurrently, the summed
+	// bounded final pauses, blocks newly dirtied by the write barrier,
+	// and queue steals by the background bounded runs.
+	concCycles, finalPauseNs     *metrics.Counter
+	barrierDirty, concMarkSteals *metrics.Counter
+
 	// Safepoint and mutator-cache counters, maintained at the stop and
 	// refill sites rather than per cycle (a safepoint can also close a
 	// MarkOnly measurement, and refills happen between cycles).
@@ -415,8 +477,10 @@ type worldMetrics struct {
 
 	// Pause-time histograms (log₂ buckets, nanoseconds): the
 	// distribution complement to the *_pause_ns running sums. Not part
-	// of Snapshot; see Registry.Histogram.
+	// of Snapshot; see Registry.Histogram. finalHist is the concurrent
+	// cycles' bounded-final-pause distribution (the pausebench p99).
 	markHist, sweepHist, stopHist *metrics.Histogram
+	finalHist                     *metrics.Histogram
 
 	// Level gauges, refreshed from the allocator and blacklist at each
 	// cycle barrier and on Metrics()/MetricsSnapshot().
@@ -451,6 +515,10 @@ func newWorldMetrics() worldMetrics {
 		markPauseNs:        reg.Counter("mark_pause_ns"),
 		sweepNs:            reg.Counter("sweep_pause_ns"),
 		markSteals:         reg.Counter("mark_steals"),
+		concCycles:         reg.Counter("gc_concurrent_cycles"),
+		finalPauseNs:       reg.Counter("stw_final_pause_ns"),
+		barrierDirty:       reg.Counter("barrier_dirty_blocks"),
+		concMarkSteals:     reg.Counter("conc_mark_steals"),
 		stwStops:           reg.Counter("stw_stops"),
 		stwPauseNs:         reg.Counter("stw_pause_ns"),
 		cacheRefills:       reg.Counter("cache_refills"),
@@ -463,6 +531,7 @@ func newWorldMetrics() worldMetrics {
 		markHist:           reg.Histogram("mark_pause_ns_hist"),
 		sweepHist:          reg.Histogram("sweep_pause_ns_hist"),
 		stopHist:           reg.Histogram("stop_pause_ns_hist"),
+		finalHist:          reg.Histogram("final_pause_ns_hist"),
 		heapBytes:          reg.Gauge("heap_bytes"),
 		liveBytes:          reg.Gauge("live_bytes"),
 		liveObjects:        reg.Gauge("live_objects"),
@@ -571,6 +640,10 @@ func (w *World) syncGauges() {
 func (w *World) recordCycle(st CollectionStats) {
 	m := &w.met
 	switch {
+	case st.Concurrent:
+		m.concCycles.Inc()
+		m.finalPauseNs.Add(uint64(st.PauseFinalNs))
+		m.finalHist.Record(uint64(st.PauseFinalNs))
 	case st.Minor:
 		m.minorCycles.Inc()
 	case st.Incremental:
@@ -603,6 +676,10 @@ func (w *World) recordCycle(st CollectionStats) {
 func (w *World) writeGCTrace(st CollectionStats) {
 	kind := "full"
 	switch {
+	case st.Concurrent && st.Minor:
+		kind = fmt.Sprintf("concurrent-minor(%d passes)", st.RescanPasses)
+	case st.Concurrent:
+		kind = fmt.Sprintf("concurrent(%d passes)", st.RescanPasses)
 	case st.Minor:
 		kind = "minor"
 	case st.Incremental:
@@ -621,6 +698,11 @@ func (w *World) writeGCTrace(st CollectionStats) {
 	if st.SweepDeferredBlocks > 0 {
 		fmt.Fprintf(w.gctrace, ", %d deferred", st.SweepDeferredBlocks)
 	}
+	if st.Concurrent {
+		fmt.Fprintf(w.gctrace, ", snap %.2fms final %.2fms (%d dirty rescanned)",
+			float64(st.PauseSnapshotNs)/1e6, float64(st.PauseFinalNs)/1e6,
+			st.FinalDirtyBlocks)
+	}
 	if st.PauseStopNs > 0 {
 		fmt.Fprintf(w.gctrace, ", stop %.2fms", float64(st.PauseStopNs)/1e6)
 	}
@@ -638,9 +720,13 @@ func (w *World) GCTraceSummary() string {
 		return fmt.Sprintf("p50 %.2fms p95 %.2fms max %.2fms",
 			float64(h.Quantile(0.5))/1e6, float64(h.Quantile(0.95))/1e6, float64(h.Max())/1e6)
 	}
-	return fmt.Sprintf("gc summary: %d cycles: mark %s; sweep %s; stop %d stops %s",
+	s := fmt.Sprintf("gc summary: %d cycles: mark %s; sweep %s; stop %d stops %s",
 		m.markHist.Count(), dist(m.markHist), dist(m.sweepHist),
 		m.stopHist.Count(), dist(m.stopHist))
+	if n := m.finalHist.Count(); n > 0 {
+		s += fmt.Sprintf("; final %d pauses %s", n, dist(m.finalHist))
+	}
+	return s
 }
 
 // fireHook finalises the completed collection: fold it into the
@@ -682,14 +768,11 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 	if c.Generational && c.Incremental {
 		return nil, fmt.Errorf("core: generational and incremental modes are mutually exclusive")
 	}
+	if c.ConcurrentMark && c.Incremental {
+		return nil, fmt.Errorf("core: concurrent and incremental modes are mutually exclusive (concurrent marking subsumes the incremental state machine)")
+	}
 	if c.DiscontiguousGrowth && c.Blacklisting == BlacklistDense {
 		return nil, fmt.Errorf("core: a discontinuous heap needs the hashed blacklist (paper, section 3)")
-	}
-	if c.Incremental {
-		// The bump profile does not compose with per-allocation marking
-		// steps (like the mutator fast path, which incremental mode also
-		// forgoes); the stored cfg is the effective one everywhere.
-		c.LineAlloc = false
 	}
 	heap, err := alloc.New(space, alloc.Config{
 		HeapBase:                 c.HeapBase,
@@ -817,9 +900,40 @@ func (w *World) AllocateIgnoreOffPage(nwords int, atomic bool) (mem.Addr, error)
 // direct World entry points, the handle's source for Mutator ones.
 func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func() (mem.Addr, error)) (mem.Addr, error) {
 	// Regular-interval trigger. Incremental mode starts a cycle and
-	// advances it in bounded steps; generational mode prefers the
-	// cheaper minor cycle with a periodic full cycle.
-	if w.cfg.Incremental {
+	// advances it in bounded steps; concurrent mode starts a cycle and
+	// hands it to a background driver goroutine; generational mode
+	// prefers the cheaper minor cycle with a periodic full cycle.
+	if w.cfg.ConcurrentMark {
+		if !w.concActive {
+			st := w.Heap.Stats()
+			if w.cfg.Generational && w.cfg.MinorDivisor > 0 &&
+				st.BytesSinceGC > uint64(st.HeapBytes/w.cfg.MinorDivisor) {
+				minor := w.minorsSinceFull < w.cfg.FullEvery-1
+				kind := int64(3)
+				if minor {
+					kind = 4
+				}
+				w.allocTrigger(kind)
+				w.startConcurrentLocked(minor)
+				go w.driveConcurrent(w.concGen)
+			} else if !w.cfg.Generational && w.cfg.GCDivisor > 0 &&
+				st.BytesSinceGC > uint64(st.HeapBytes/w.cfg.GCDivisor) {
+				w.allocTrigger(3)
+				w.startConcurrentLocked(false)
+				go w.driveConcurrent(w.concGen)
+			}
+		} else {
+			// Allocation-proportional assist, the incremental branch's
+			// idiom below: each slow-path allocation advances the cycle by
+			// one bounded chunk, so marking keeps pace with allocation
+			// even when the background driver is starved of processor
+			// time (few cores, many mutators). The chunk that drains the
+			// gray set runs the finale right here — completing a cycle
+			// from an allocation slow path is already the ErrNeedMemory
+			// path's behaviour.
+			w.concChunkLocked(w.cfg.MarkQuantum)
+		}
+	} else if w.cfg.Incremental {
 		st := w.Heap.Stats()
 		if !w.incActive && w.cfg.GCDivisor > 0 &&
 			st.BytesSinceGC > uint64(st.HeapBytes/w.cfg.GCDivisor) {
@@ -848,7 +962,11 @@ func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func()
 	}
 	p, err := try()
 	if err == alloc.ErrNeedMemory {
-		if w.incActive {
+		if w.concActive {
+			// Complete the in-flight concurrent cycle: its finale sweeps.
+			w.stwFinishConcurrent()
+			p, err = try()
+		} else if w.incActive {
 			// Complete the in-flight incremental cycle: it will sweep.
 			w.stwFinishIncremental()
 			p, err = try()
@@ -883,6 +1001,13 @@ func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func()
 	if err != nil {
 		return 0, err
 	}
+	if w.concActive {
+		// Born black: the fresh object is zero-filled, so there is
+		// nothing to scan at birth, and the mark bit keeps this cycle's
+		// sweep off it. Later stores into it are caught by the write
+		// barrier like stores into any other black object.
+		w.Heap.Mark(p)
+	}
 	if w.cfg.AllocatorResidue {
 		if rs, ok := src.(residueSimulator); ok {
 			rs.SimulateCallResidue(w.cfg.AllocatorSelfClean, mem.Word(p), mem.Word(nwords))
@@ -893,7 +1018,8 @@ func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func()
 
 // allocTrigger records an allocation crossing the collection
 // threshold, immediately before the cycle it triggers; kind is the
-// cycle-kind argument (0 full, 1 minor, 2 incremental start).
+// cycle-kind argument (0 full, 1 minor, 2 incremental start, 3
+// concurrent full, 4 concurrent minor).
 func (w *World) allocTrigger(kind int64) {
 	w.met.allocTriggered.Inc()
 	if w.tracer.Enabled() {
@@ -963,15 +1089,7 @@ func (w *World) markPhase(minor bool) (mark.Stats, int) {
 		w.Marker.Drain()
 		return w.Marker.Stats(), dirty
 	}
-	if w.par == nil || w.parWorkers != workers {
-		// Adaptive selection changed its mind (the live heap crossed a
-		// band, or GOMAXPROCS moved): rebuild the sharded marker at the
-		// new width. Steal counters start over with it.
-		w.par = mark.NewParallel(w.Heap, w.mcfg, workers)
-		w.parWorkers = workers
-		w.prevSteals = 0
-		w.par.SetTracer(w.tracer)
-	}
+	w.ensureParLocked(workers)
 	if w.prov.enabled {
 		w.par.StartRecording()
 	}
@@ -998,6 +1116,19 @@ func (w *World) markPhase(minor bool) (mark.Stats, int) {
 		w.par.AddRootsOrigin(mark.RootOrigin{Kind: mark.RootSegment, Src: int32(i), Base: s.Base()}, s.Words())
 	}
 	return w.par.Run(), dirty
+}
+
+// ensureParLocked (re)builds the sharded marker at the given width.
+// Rebuilding happens when the adaptive selection changed its mind (the
+// live heap crossed a band, or GOMAXPROCS moved); steal counters start
+// over with the new marker.
+func (w *World) ensureParLocked(workers int) {
+	if w.par == nil || w.parWorkers != workers {
+		w.par = mark.NewParallel(w.Heap, w.mcfg, workers)
+		w.parWorkers = workers
+		w.prevSteals = 0
+		w.par.SetTracer(w.tracer)
+	}
 }
 
 // Collect runs a full stop-the-world collection: park every mutator
@@ -1027,6 +1158,10 @@ func (w *World) collectLocked() CollectionStats {
 	if w.incActive {
 		// A full collection supersedes the in-flight incremental cycle.
 		return w.finishIncrementalLocked()
+	}
+	if w.concActive {
+		// Likewise for an in-flight concurrent cycle: run its finale now.
+		return w.finishConcurrentLocked()
 	}
 	start := time.Now()
 	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 0)
@@ -1160,6 +1295,10 @@ func (w *World) collectMinorLocked() CollectionStats {
 	if !w.cfg.Generational {
 		return w.collectLocked()
 	}
+	if w.concActive {
+		// An explicit collection completes the in-flight concurrent cycle.
+		return w.finishConcurrentLocked()
+	}
 	start := time.Now()
 	w.tracer.Emit(trace.EvCycleBegin, int64(w.collections+1), int64(w.Heap.Stats().HeapBytes), 1)
 	// See Collect: the previous cycle's deferred sweeps must land before
@@ -1225,6 +1364,9 @@ func (w *World) MarkOnly() (objects, bytes uint64) {
 		// mark bits; complete the cycle first.
 		w.finishIncrementalLocked()
 	}
+	if w.concActive {
+		w.finishConcurrentLocked()
+	}
 	w.Heap.FinishSweep() // pending bits are the previous cycle's, not this one's
 	w.Heap.FlushSpans()  // carved-but-unissued span slots are not accessible objects
 	w.tracer.Emit(trace.EvMarkBegin, int64(w.collections+1), int64(w.effectiveMarkWorkers()), 0)
@@ -1288,9 +1430,18 @@ func (w *World) Store(a mem.Addr, v mem.Word) error {
 }
 
 // storeLocked is the write barrier + store body; callers hold w.mu.
+// During a concurrent cycle it is the Dijkstra-style insertion barrier
+// at dirty-card granularity: the written-to block is re-greyed, so the
+// finale (or an earlier rescan pass) re-scans its marked objects and
+// finds whatever pointer this store published.
 func (w *World) storeLocked(a mem.Addr, v mem.Word) error {
-	if w.cfg.Generational || w.incActive {
-		w.Heap.MarkDirty(a)
+	if w.cfg.Generational || w.incActive || w.concActive {
+		if w.Heap.MarkDirty(a) && w.concActive {
+			w.met.barrierDirty.Inc()
+			if w.tracer.Enabled() {
+				w.tracer.Emit(trace.EvBarrierDirty, int64(a), int64(w.Heap.CountDirty()), 0)
+			}
+		}
 	}
 	return w.Space.Store(a, v)
 }

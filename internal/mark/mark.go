@@ -351,3 +351,16 @@ func (m *Marker) DrainN(n int) bool {
 
 // Pending returns the number of objects awaiting scanning.
 func (m *Marker) Pending() int { return len(m.stack) }
+
+// TakePending removes and returns the queued (marked but unscanned)
+// objects. A concurrent cycle's snapshot pause scans roots with the
+// serial marker, then hands the resulting gray set to the parallel
+// workers through this.
+func (m *Marker) TakePending() []mem.Addr {
+	if len(m.stack) == 0 {
+		return nil
+	}
+	out := append([]mem.Addr(nil), m.stack...)
+	m.stack = m.stack[:0]
+	return out
+}

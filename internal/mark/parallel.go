@@ -173,7 +173,8 @@ type Parallel struct {
 	workers []*worker
 	queue   taskQueue
 	idle    atomic.Int32
-	staged  []task // tasks accumulated between cycles, moved to queue by Run
+	credits atomic.Int64 // bounded-run scan budget (see bounded.go)
+	staged  []task       // tasks accumulated between cycles, moved to queue by Run
 	// steals counts tasks fetched from the shared queue, cumulatively
 	// across cycles: root chunks claimed, gray chunks stolen, dirty
 	// blocks taken. It is the registry's mark-steal metric.
@@ -339,9 +340,18 @@ func (p *Parallel) Run() Stats {
 		go w.run()
 	}
 	p.wg.Wait()
-	var agg Stats
 	for _, w := range p.workers {
 		w.pending.flush()
+	}
+	return p.AggStats()
+}
+
+// AggStats sums every worker's statistics. After Run it equals the
+// cycle's totals; during a concurrent cycle it is the running total
+// across the bounded runs executed so far (ResetCycle zeroes it).
+func (p *Parallel) AggStats() Stats {
+	var agg Stats
+	for _, w := range p.workers {
 		s := w.m.Stats()
 		agg.WordsScanned += s.WordsScanned
 		agg.Candidates += s.Candidates

@@ -36,7 +36,8 @@ import (
 type Kind uint8
 
 // Event kinds. Cycle kinds (the "cycle kind" argument below) are
-// 0 = full, 1 = generational minor, 2 = incremental.
+// 0 = full, 1 = generational minor, 2 = incremental, 3 = concurrent
+// full, 4 = concurrent minor.
 const (
 	// EvNone is the zero Kind; it is never emitted.
 	EvNone Kind = iota
@@ -108,6 +109,14 @@ const (
 	// lines (Config.LineAlloc). A0 span base address, A1 slots in the
 	// span, A2 object words per slot.
 	EvSpanRefill
+	// EvBarrierDirty records the concurrent-mark write barrier newly
+	// dirtying a block (first store into it since its last rescan). A0
+	// the stored-to address, A1 blocks currently dirty.
+	EvBarrierDirty
+	// EvFinalPause records a concurrent cycle's bounded final pause. A0
+	// pause duration in nanoseconds, A1 dirty blocks rescanned in the
+	// pause, A2 concurrent rescan passes run before it.
+	EvFinalPause
 
 	numKinds // sentinel: keep last
 )
@@ -133,6 +142,8 @@ var kindNames = [numKinds]string{
 	EvProvenance:     "provenance",
 	EvRetention:      "retention",
 	EvSpanRefill:     "span_refill",
+	EvBarrierDirty:   "barrier_dirty",
+	EvFinalPause:     "final_pause",
 }
 
 func (k Kind) String() string {
