@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench pausebench soak benchgate heapdump-smoke fuzz-smoke
+.PHONY: ci fmt vet lint build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench pausebench soak benchgate heapdump-smoke fuzz-smoke
 
-ci: fmt vet build test race
+ci: fmt vet lint build test race
 
 # gofmt is a gate, not a fixer: fail listing the offending files.
 fmt:
@@ -14,6 +14,19 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Both tools are optional locally (the CI
+# workflow installs them); skip with a note when absent so `make ci`
+# stays runnable on a bare toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; fi
 
 build:
 	$(GO) build ./...
@@ -68,10 +81,14 @@ retentionbench:
 allocbench:
 	$(GO) run ./cmd/gcbench -experiment allocbench -mutators 1,8 -benchjson BENCH_5.json
 
-# Regenerates BENCH_6.json (stop-the-world vs mostly-concurrent marking
-# pause percentiles under 8 mutators). Object and live counts are exact
-# invariants; pause percentiles and the concurrent p99 reduction are
-# advisory timing.
+# Regenerates BENCH_6.json (stop-the-world vs concurrent marking pause
+# percentiles under 8 mutators; three modes per width — stw, the pinned
+# single-driver concurrent cycle, and detached concurrent-workers with
+# the background sweeper). Object and live counts are exact invariants;
+# pause percentiles, the p99 reduction, and the conc_phase mark
+# throughput are advisory timing (rows record gomaxprocs/conc_workers
+# and the oversubscribed flag so the gate knows when timing is
+# meaningless — on a 1-CPU box the worker rows measure contention).
 pausebench:
 	$(GO) run ./cmd/gcbench -experiment pausebench -mutators 8 -benchjson BENCH_6.json
 
@@ -80,7 +97,7 @@ pausebench:
 # audit after every round. Not part of `make ci`; run it when touching
 # the safepoint protocol or the allocation caches.
 soak:
-	$(GO) run ./cmd/gcbench -experiment soak -mutators 8 -soak-cycles 20
+	$(GO) run ./cmd/gcbench -experiment soak -mutators 8 -soak-cycles 100
 
 # Benchmark regression gate: rerun each benchmark in-process and diff
 # it against the checked-in baseline. Deterministic invariants (objects
@@ -90,12 +107,10 @@ soak:
 # order-of-magnitude regressions and broken invariants, not jitter).
 BENCHGATE_TOLERANCE ?= 2
 benchgate:
-	$(GO) run ./cmd/benchgate -baseline BENCH_1.json -tolerance $(BENCHGATE_TOLERANCE)
-	$(GO) run ./cmd/benchgate -baseline BENCH_2.json -tolerance $(BENCHGATE_TOLERANCE)
-	$(GO) run ./cmd/benchgate -baseline BENCH_3.json -tolerance $(BENCHGATE_TOLERANCE)
-	$(GO) run ./cmd/benchgate -baseline BENCH_4.json -tolerance $(BENCHGATE_TOLERANCE)
-	$(GO) run ./cmd/benchgate -baseline BENCH_5.json -tolerance $(BENCHGATE_TOLERANCE)
-	$(GO) run ./cmd/benchgate -baseline BENCH_6.json -tolerance $(BENCHGATE_TOLERANCE)
+	@set -e; for b in BENCH_*.json; do \
+		echo "benchgate: $$b"; \
+		$(GO) run ./cmd/benchgate -baseline $$b -tolerance $(BENCHGATE_TOLERANCE); \
+	done
 
 # Self-checking retention demo: plant a false stack reference retaining
 # a lazy stream (paper, section 4) and assert that the retention report

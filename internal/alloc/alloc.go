@@ -180,6 +180,13 @@ type Config struct {
 	// tests assert both. Typed and large objects are unaffected. Default
 	// off: the threaded free lists, unchanged.
 	LineAlloc bool
+	// AtomicWords puts every heap segment (the initial one and any
+	// discontiguous extents) in atomic-store mode: mutator stores to
+	// heap words become atomic writes, pairing with the atomic reads of
+	// detached mark workers that scan while holding no allocation lock.
+	// Structure-level synchronisation is still the caller's affair; this
+	// only removes the word-level data race. Default off.
+	AtomicWords bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -382,6 +389,7 @@ func New(space *mem.AddressSpace, cfg Config) (*Allocator, error) {
 	if err != nil {
 		return nil, err
 	}
+	seg.SetAtomicStore(c.AtomicWords)
 	a := &Allocator{
 		cfg:               c,
 		space:             space,
@@ -919,6 +927,7 @@ func (a *Allocator) addExtent() error {
 	if err != nil {
 		return fmt.Errorf("alloc: mapping extent %s: %w", name, err)
 	}
+	seg.SetAtomicStore(a.cfg.AtomicWords)
 	a.extents = append(a.extents, extent{seg: seg, startBlock: len(a.blocks)})
 	a.hullHi = seg.ReservedLimit()
 	return nil

@@ -22,16 +22,24 @@ import (
 //     set is handed to the marking machinery: the serial marker's own
 //     stack at width 1, the parallel workers' shared queue otherwise.
 //     The mutators then resume.
-//  2. Background marking. A driver goroutine repeatedly takes the
-//     world lock, drains a bounded chunk of gray objects (MarkQuantum;
-//     sharded across the parallel workers via mark.RunBounded when the
-//     snapshot's AutoMarkWorkers width was > 1), releases the lock and
-//     yields. Mutators run concurrently: their allocation fast path
+//  2. Background marking, in one of two shapes. Lock-chunked (width
+//     1, the default on small heaps and single-core schedulers): a
+//     driver goroutine repeatedly takes the world lock, drains a
+//     bounded chunk of gray objects (MarkQuantum; sharded across the
+//     parallel workers via mark.RunBounded when the snapshot's width
+//     was > 1), releases the lock and yields. Detached
+//     (ConcMarkWorkers > 1, see detached.go): background worker
+//     goroutines pull chunks from the shared gray queue without the
+//     world lock at all — heap words go atomic, mark bits are CAS,
+//     and heap structure is guarded by a reader-writer lock. In both
+//     shapes mutators run concurrently: their allocation fast path
 //     touches no collector structure, their slow paths and heap stores
-//     interleave with the chunks under the lock. Stores dirty their
-//     block's card (storeLocked); fresh objects are born black at the
+//     interleave under the locks above. Stores dirty their block's
+//     card (storeLocked); fresh objects are born black at the
 //     cache-refill commit point (they are zero-filled, so there is
-//     nothing to scan at birth).
+//     nothing to scan at birth). Slow-path allocations repay marking
+//     debt through the rate-based pacer (pacerAssistLocked) instead
+//     of a fixed per-allocation chunk.
 //  3. Bounded finale. When the gray set drains, the driver decides:
 //     if the mutators have dirtied more blocks than the finale budget
 //     and rescan passes remain, it stages a concurrent rescan of the
@@ -54,6 +62,15 @@ import (
 // finale object can be missed — the adversarial lost-object test pins
 // exactly the hiding pattern (store the only pointer into a black
 // object, erase the gray path).
+//
+// Under the detached model stores and scans are no longer ordered by
+// w.mu, but the argument survives with "totally ordered" weakened to
+// "data-race-free and card-visible": a scan racing a store reads
+// either value atomically, and the store's card (dirtied under w.mu)
+// is rescanned before the cycle can finish, so the published pointer
+// is found either by the racing scan or by the rescan. DESIGN.md §5h
+// has the full soundness argument; the lost-object battery runs
+// against both shapes.
 
 const (
 	// concMaxPasses caps the concurrent dirty-rescan passes before the
@@ -131,13 +148,31 @@ func (w *World) startConcurrentLocked(minor bool) {
 	w.Heap.FlushSpans()
 	w.Blacklist.BeginCycle()
 	workers := w.effectiveMarkWorkers()
+	// Detachment resolution: an explicit ConcMarkWorkers wins, 0 defers
+	// to the same adaptive table the mark width uses. Width 1 — small
+	// heaps, single-core schedulers, or an explicit pin — keeps the
+	// lock-chunked cycle byte-for-byte. A detached cycle needs at least
+	// its worker count of marker shards.
+	cw := w.cfg.ConcMarkWorkers
+	if cw == 0 {
+		cw = AutoMarkWorkers(runtime.GOMAXPROCS(0), w.Heap.Stats().BytesLive)
+	}
+	detached := cw > 1
+	if detached && workers < cw {
+		workers = cw
+	}
 	w.lastMarkWorkers = workers
 	w.concPar = workers > 1
+	w.concWorkers = 0
+	if detached {
+		w.concWorkers = cw
+	}
 	if w.concPar {
 		w.ensureParLocked(workers)
 		w.par.ResetCycle()
 		w.concStealsStart = w.par.Steals()
 	}
+	w.pacerInitLocked(minor)
 	if !minor && w.cfg.Generational {
 		// Sticky mark bits are the old generation; a full cycle starts
 		// from a clean slate.
@@ -179,6 +214,22 @@ func (w *World) startConcurrentLocked(minor bool) {
 	w.concMinor = minor
 	w.concPasses = 0
 	w.concGen++
+	if detached {
+		// Open the detached phase before the mutators resume: heap-word
+		// reads go atomic, the snapshot's staged gray set is published to
+		// the shared queue (detached workers pop it directly, never
+		// entering through RunBounded), and one goroutine per worker
+		// index starts pulling chunks. The workers capture this cycle's
+		// marker and generation, so a later rebuild or cycle never
+		// aliases them; they exit when concGenA stops matching.
+		w.concDetached = true
+		w.par.SetAtomicLoad(true)
+		w.par.FlushStaged()
+		w.concGenA.Store(w.concGen)
+		for i := 0; i < cw; i++ {
+			go w.markWorker(w.par, w.concGen, i)
+		}
+	}
 	w.concSnapNs = time.Since(w.concStart).Nanoseconds()
 }
 
@@ -215,7 +266,21 @@ func (w *World) concChunkLocked(quantum int) bool {
 	if quantum <= 0 {
 		quantum = w.cfg.MarkQuantum
 	}
-	if !w.concDrainLocked(quantum) {
+	if w.concDetached {
+		// Detached cycles advance through the quiescence-certificate
+		// path: the background workers do the marking, this caller
+		// contributes an assist chunk and checks for the fixpoint.
+		return w.concDetachedAdvanceLocked(quantum)
+	}
+	before := w.concMarkStatsLocked().BytesMarked
+	drained := w.concDrainLocked(quantum)
+	// Credit the chunk's marked bytes to the pacer: the background
+	// driver and mutator assists share this accounting, so a healthy
+	// driver keeps mutator credit positive and assists free.
+	if d := w.concMarkStatsLocked().BytesMarked - before; d != 0 {
+		w.pacerCredit.Add(int64(d))
+	}
+	if !drained {
 		return false
 	}
 	// Gray set drained. Rescan concurrently while the backlog is large
@@ -287,6 +352,10 @@ func (w *World) finishConcurrentLocked() CollectionStats {
 		return w.last
 	}
 	finaleStart := time.Now()
+	// A detached phase must be fully retired before anything below
+	// reads shard statistics or mutates heap structure bare: after
+	// this, no background worker touches the heap (see detached.go).
+	w.retireDetachedLocked()
 	beforeFinale := w.concMarkStatsLocked().ObjectsMarked
 	kind := int64(3)
 	if w.concMinor {
@@ -349,6 +418,10 @@ func (w *World) finishConcurrentLocked() CollectionStats {
 	}
 	pauseFinal := time.Since(finaleStart)
 	w.tracer.Emit(trace.EvFinalPause, pauseFinal.Nanoseconds(), int64(finalDirty), int64(w.concPasses))
+	concPhase := finaleStart.Sub(w.concStart).Nanoseconds() - w.concSnapNs
+	if concPhase < 0 {
+		concPhase = 0
+	}
 	w.last = CollectionStats{
 		Mark:                mstats,
 		Sweep:               sweep,
@@ -362,6 +435,8 @@ func (w *World) finishConcurrentLocked() CollectionStats {
 		RescanPasses:        w.concPasses,
 		FinalDirtyBlocks:    finalDirty,
 		MarkedConcurrent:    beforeFinale - w.concSnapMarked,
+		ConcWorkers:         w.concWorkers,
+		ConcPhaseNs:         concPhase,
 		PauseSnapshotNs:     w.concSnapNs,
 		PauseFinalNs:        pauseFinal.Nanoseconds(),
 		PauseMarkNs:         pauseMark.Nanoseconds(),

@@ -119,6 +119,12 @@ func TestConcurrentMutatorBattery(t *testing.T) {
 		"conc-par":      {ConcurrentMark: true, GCDivisor: 6, MarkWorkers: 4, LazySweep: true},
 		"conc-gen-lazy": {ConcurrentMark: true, Generational: true, MinorDivisor: 6, FullEvery: 3, LazySweep: true},
 		"conc-line":     {ConcurrentMark: true, GCDivisor: 6, LineAlloc: true},
+		// Detached background marking plus the background sweeper: four
+		// worker goroutines pull the gray set without the world lock
+		// while the mutators allocate, store, and free. The race battery
+		// entry for the full no-lock machinery (CAS mark bits, atomic
+		// heap words, heapMu exclusion, pacer assists).
+		"conc-workers": {ConcurrentMark: true, GCDivisor: 6, ConcMarkWorkers: 4, ConcurrentSweep: true},
 	}
 	const nMut = 8
 	ops := 400

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// Tests for detached background marking (Config.ConcMarkWorkers > 1):
+// the sharded no-world-lock cycle must mark and sweep exactly what the
+// single-driver lock-chunked cycle (and hence a stop-the-world
+// collection) does, and the insertion barrier must still defeat the
+// hide-behind-black race when the hiding store races real background
+// workers.
+
+// TestDetachedMarkingDifferential compares a detached cycle (4
+// background workers pulling without the world lock) against the
+// lock-chunked oracle (ConcMarkWorkers: 1, the pre-detached path) on
+// identical quiesced heaps, across the collector modes detachment
+// composes with. The CAS mark bits admit one winner per object, so
+// the marked object set, byte totals and reclamation must be
+// identical even though which shard marks each object is scheduling-
+// dependent.
+func TestDetachedMarkingDifferential(t *testing.T) {
+	configs := map[string]Config{
+		"full": {GCDivisor: -1},
+		"gen":  {Generational: true, GCDivisor: -1, MinorDivisor: -1},
+		"lazy": {GCDivisor: -1, LazySweep: true},
+		"line": {GCDivisor: -1, LineAlloc: true},
+	}
+	for name, cfg := range configs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) (CollectionStats, map[mem.Addr]bool, int) {
+				c := cfg
+				c.ConcurrentMark = true
+				c.ConcMarkWorkers = workers
+				w := newWorld(t, c)
+				addData(t, w, "data", 0x2000, 4096)
+				allocs := concBuildGraph(t, directDriver{w})
+				if err := w.StartConcurrentCycle(); err != nil {
+					t.Fatal(err)
+				}
+				// No steps-taken floor here: detached workers may finish
+				// the whole gray set before the first explicit step.
+				for steps := 0; !w.ConcurrentStep(16); steps++ {
+					if steps > 1_000_000 {
+						t.Fatal("cycle did not terminate")
+					}
+				}
+				st := w.LastCollection()
+				w.FinishSweep()
+				return st, liveSet(w), allocs
+			}
+			oracle, oracleLive, oracleAllocs := run(1)
+			det, detLive, detAllocs := run(4)
+			if oracleAllocs != detAllocs {
+				t.Fatalf("setup diverged: %d vs %d allocations", oracleAllocs, detAllocs)
+			}
+			if oracle.ConcWorkers != 0 {
+				t.Fatalf("lock-chunked cycle reports ConcWorkers=%d, want 0", oracle.ConcWorkers)
+			}
+			if det.ConcWorkers != 4 {
+				t.Fatalf("detached cycle reports ConcWorkers=%d, want 4", det.ConcWorkers)
+			}
+			if det.Mark.ObjectsMarked != oracle.Mark.ObjectsMarked ||
+				det.Mark.BytesMarked != oracle.Mark.BytesMarked {
+				t.Fatalf("mark outcome diverges: detached %d objects/%d bytes, oracle %d/%d",
+					det.Mark.ObjectsMarked, det.Mark.BytesMarked,
+					oracle.Mark.ObjectsMarked, oracle.Mark.BytesMarked)
+			}
+			if det.Sweep != oracle.Sweep {
+				t.Fatalf("sweep diverges:\ndetached %+v\noracle   %+v", det.Sweep, oracle.Sweep)
+			}
+			if len(detLive) != len(oracleLive) {
+				t.Fatalf("live sets diverge: %d vs %d objects", len(detLive), len(oracleLive))
+			}
+			for a := range oracleLive {
+				if !detLive[a] {
+					t.Fatalf("object %#x live under oracle, missing under detached cycle", uint32(a))
+				}
+			}
+		})
+	}
+}
+
+// TestDetachedLostObject is the adversarial barrier test against real
+// background workers: hide the only pointer to an object inside a
+// possibly-already-scanned object and erase the other path, while 4
+// detached workers race the stores. Unlike the lock-chunked variant
+// the race window cannot be opened deterministically (a worker may
+// mark x before the hide lands), so the assertion is the soundness
+// outcome only: x must survive and exactly the one garbage object
+// must be reclaimed, every time.
+func TestDetachedLostObject(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		w := newWorld(t, Config{ConcurrentMark: true, ConcMarkWorkers: 4, GCDivisor: -1})
+		data := addData(t, w, "data", 0x2000, 4096)
+		alloc2 := func() mem.Addr {
+			p, err := w.Allocate(2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		c1 := alloc2()
+		black := alloc2()
+		x := alloc2()
+		_ = alloc2() // garbage
+		if err := data.Store(0x2000, mem.Word(c1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := data.Store(0x2004, mem.Word(black)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Store(c1, mem.Word(x)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.StartConcurrentCycle(); err != nil {
+			t.Fatal(err)
+		}
+		// The hide, racing the workers: x's only pointer moves into
+		// `black`, the path through c1 is erased. Both stores dirty
+		// their cards under w.mu.
+		if err := w.Store(black, mem.Word(x)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Store(c1, 0); err != nil {
+			t.Fatal(err)
+		}
+		for steps := 0; !w.ConcurrentStep(1); steps++ {
+			if steps > 100_000 {
+				t.Fatal("cycle did not terminate")
+			}
+		}
+		st := w.LastCollection()
+		if st.Sweep.ObjectsFreed != 1 {
+			t.Fatalf("iter %d: sweep freed %d objects, want exactly the 1 garbage object",
+				iter, st.Sweep.ObjectsFreed)
+		}
+		if st.Sweep.ObjectsLive != 3 {
+			t.Fatalf("iter %d: sweep saw %d live objects, want 3 (c1, black, x)",
+				iter, st.Sweep.ObjectsLive)
+		}
+	}
+}
+
+// TestDetachedConfigValidation pins the knob's edges: negative worker
+// counts are rejected at construction, and ConcurrentSweep implies
+// LazySweep in the resolved configuration.
+func TestDetachedConfigValidation(t *testing.T) {
+	if _, err := NewWorld(nil, Config{ConcurrentMark: true, ConcMarkWorkers: -1}); err == nil {
+		t.Fatal("NewWorld accepted ConcMarkWorkers: -1")
+	}
+	w := newWorld(t, Config{ConcurrentSweep: true})
+	if !w.Config().LazySweep {
+		t.Fatal("ConcurrentSweep did not imply LazySweep")
+	}
+}

@@ -392,7 +392,9 @@ func (m *Mutator) Free(base mem.Addr) error {
 	defer w.mu.Unlock()
 	m.flushLocked()
 	defer m.resyncLocked()
-	return w.Heap.Free(base)
+	var err error
+	w.lockHeapLocked(func() { err = w.Heap.Free(base) })
+	return err
 }
 
 // Store writes a heap or segment word through the write barrier, like
@@ -485,14 +487,20 @@ func (m *Mutator) returnCacheLocked(idx int) int {
 	c := &m.caches[idx]
 	rest := len(c.run) - c.next
 	if rest > 0 {
-		m.w.Heap.ReturnRun(c.words, idx >= alloc.NumClasses, c.run[c.next:])
+		// Free-list threading is a heap-structure mutation: exclude any
+		// detached mark workers (bare call outside a detached phase).
+		m.w.lockHeapLocked(func() {
+			m.w.Heap.ReturnRun(c.words, idx >= alloc.NumClasses, c.run[c.next:])
+		})
 	}
 	c.run = c.run[:0]
 	c.next = 0
 	if c.cursor < c.limit {
 		// Line profile: clear the span tail's alloc bits and requeue its
 		// block, so the very next carve re-issues the same cursor.
-		rest += m.w.Heap.ReturnSpan(c.cursor, c.limit)
+		m.w.lockHeapLocked(func() {
+			rest += m.w.Heap.ReturnSpan(c.cursor, c.limit)
+		})
 	}
 	c.cursor, c.limit = 0, 0
 	return rest
@@ -602,7 +610,11 @@ func (w *World) VerifyIntegrity() error {
 			}
 		}
 	}
-	err := w.Heap.CheckIntegrity(cached)
+	// The audit walks every block's bitmaps; detached mark workers
+	// flip mark bits and summaries concurrently, so exclude them for
+	// the read (bare call outside a detached phase).
+	var err error
+	w.lockHeapLocked(func() { err = w.Heap.CheckIntegrity(cached) })
 	for i := len(w.muts) - 1; i >= 0; i-- {
 		w.muts[i].mu.Unlock()
 	}

@@ -22,6 +22,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alloc"
@@ -162,6 +163,26 @@ type Config struct {
 	// same state machine.
 	ConcurrentMark bool
 
+	// ConcMarkWorkers sets how many detached background goroutines mark
+	// during a concurrent cycle (see detached.go). Values above 1 pull
+	// from the shared gray queue without holding the world lock: heap
+	// words are then accessed atomically, mark bits are CAS, and heap
+	// structure is guarded by a reader-writer lock only the allocator's
+	// mutations take exclusively. 1 pins the lock-chunked single-driver
+	// cycle (the pre-detached code path, unchanged). 0 — the default —
+	// is adaptive via AutoMarkWorkers, so small heaps and single-core
+	// schedulers keep the cheaper lock-chunked form. Only meaningful
+	// with ConcurrentMark.
+	ConcMarkWorkers int
+
+	// ConcurrentSweep moves deferred sweep work onto a background
+	// goroutine after each cycle's finale (implies LazySweep): blocks
+	// are classified a chunk at a time under the world lock while the
+	// mutators run, with the allocator's demand drain still covering
+	// any block the sweeper has not reached — allocation addresses and
+	// reclamation totals stay bit-identical to the eager sweep's.
+	ConcurrentSweep bool
+
 	// MarkWorkers sets the number of mark-phase workers. Values above 1
 	// shard the stop-the-world mark phase across that many goroutines
 	// with CAS-set mark bits and work stealing (see internal/mark,
@@ -232,6 +253,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MarkQuantum == 0 {
 		c.MarkQuantum = 64
+	}
+	if c.ConcurrentSweep {
+		// The background sweeper classifies the lazy sweep's deferred
+		// blocks; without the deferral there is nothing to sweep outside
+		// the pause.
+		c.LazySweep = true
 	}
 	// MarkWorkers 0 stays 0: the adaptive per-phase selection.
 	return c
@@ -317,6 +344,12 @@ type CollectionStats struct {
 	RescanPasses     int
 	FinalDirtyBlocks int
 	MarkedConcurrent uint64
+	// ConcWorkers is how many detached background mark workers the
+	// cycle ran (0 for a lock-chunked cycle); ConcPhaseNs is the
+	// wall-clock length of the concurrent marking phase between the
+	// snapshot and final pauses.
+	ConcWorkers int
+	ConcPhaseNs int64
 	// PauseSnapshotNs and PauseFinalNs are the concurrent cycle's two
 	// stop-the-world windows; Duration is their sum for such cycles.
 	PauseSnapshotNs int64
@@ -407,10 +440,28 @@ type World struct {
 	concStart       time.Time
 	concSnapNs      int64
 	concStealsStart uint64
-	last            CollectionStats
-	finalizable     map[mem.Addr]struct{}
-	reclaimed       []mem.Addr
-	hook            func(CollectionStats)
+	// Detached-marking state (detached.go). heapMu guards heap
+	// *structure* against the detached workers: workers hold the read
+	// side per chunk, allocator mutations take the write side through
+	// lockHeapLocked; lock order is mu strictly before heapMu.
+	// concDetached marks a detached phase in flight (mutated under mu);
+	// concGenA atomically mirrors concGen for the workers' staleness
+	// checks (0 = retired); concWorkers is the cycle's detached worker
+	// count. The pacer fields implement the rate-based assist:
+	// pacerCredit is marked bytes banked (negative = debt), pacerRatio
+	// converts allocated bytes to owed mark bytes, pacerLastAlloc is
+	// the allocation cursor of the pacer's last look.
+	heapMu         sync.RWMutex
+	concDetached   bool
+	concGenA       atomic.Uint64
+	concWorkers    int
+	pacerCredit    atomic.Int64
+	pacerRatio     float64
+	pacerLastAlloc uint64
+	last           CollectionStats
+	finalizable    map[mem.Addr]struct{}
+	reclaimed      []mem.Addr
+	hook           func(CollectionStats)
 
 	// Observability (see DESIGN.md section 5c). tracer is nil unless
 	// SetTracer/EnableTracing installed one: every emit site nil-checks,
@@ -459,6 +510,13 @@ type worldMetrics struct {
 	// and queue steals by the background bounded runs.
 	concCycles, finalPauseNs     *metrics.Counter
 	barrierDirty, concMarkSteals *metrics.Counter
+
+	// Pacer and background-sweep observability: time mutators spent in
+	// slow-path assists, the pacer's current credit (negative = debt),
+	// and blocks the background sweeper classified outside any pause.
+	pacerAssistNs   *metrics.Counter
+	pacerCreditB    *metrics.Gauge
+	concSweepBlocks *metrics.Counter
 
 	// Safepoint and mutator-cache counters, maintained at the stop and
 	// refill sites rather than per cycle (a safepoint can also close a
@@ -519,6 +577,9 @@ func newWorldMetrics() worldMetrics {
 		finalPauseNs:       reg.Counter("stw_final_pause_ns"),
 		barrierDirty:       reg.Counter("barrier_dirty_blocks"),
 		concMarkSteals:     reg.Counter("conc_mark_steals"),
+		pacerAssistNs:      reg.Counter("pacer_assist_ns"),
+		pacerCreditB:       reg.Gauge("pacer_credit_bytes"),
+		concSweepBlocks:    reg.Counter("conc_sweep_blocks"),
 		stwStops:           reg.Counter("stw_stops"),
 		stwPauseNs:         reg.Counter("stw_pause_ns"),
 		cacheRefills:       reg.Counter("cache_refills"),
@@ -609,7 +670,14 @@ func (w *World) MetricsSnapshot() []metrics.Sample {
 }
 
 // syncGauges refreshes the level gauges from their owning subsystems.
+// The allocator and blacklist reads are excluded against detached mark
+// workers (whose chunks flush blacklist batches and bump mark
+// summaries), hence the write-side hold.
 func (w *World) syncGauges() {
+	w.lockHeapLocked(func() { w.syncGaugesExcluded() })
+}
+
+func (w *World) syncGaugesExcluded() {
 	st := w.Heap.Stats()
 	bl := w.Blacklist.Stats()
 	m := &w.met
@@ -626,6 +694,7 @@ func (w *World) syncGauges() {
 	m.heapExpansions.Set(int64(st.Expansions))
 	m.desperateAllocs.Set(int64(st.DesperateAllocs))
 	m.markWorkers.Set(int64(w.lastMarkWorkers))
+	m.pacerCreditB.Set(w.pacerCredit.Load())
 	if w.cfg.LineAlloc {
 		ls := w.Heap.LineStats()
 		m.lineLiveLines.Set(int64(ls.LiveLines))
@@ -730,8 +799,9 @@ func (w *World) GCTraceSummary() string {
 }
 
 // fireHook finalises the completed collection: fold it into the
-// metrics, render the gctrace line, and report it to the registered
-// hook.
+// metrics, render the gctrace line, report it to the registered hook,
+// and — under ConcurrentSweep — hand the cycle's deferred sweep
+// backlog to a background sweeper once the world resumes.
 func (w *World) fireHook() {
 	w.recordCycle(w.last)
 	w.syncGauges()
@@ -740,6 +810,9 @@ func (w *World) fireHook() {
 	}
 	if w.hook != nil {
 		w.hook(w.last)
+	}
+	if w.cfg.ConcurrentSweep && w.Heap.SweepPending() > 0 {
+		go w.driveSweep(w.collections)
 	}
 }
 
@@ -774,6 +847,9 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 	if c.DiscontiguousGrowth && c.Blacklisting == BlacklistDense {
 		return nil, fmt.Errorf("core: a discontinuous heap needs the hashed blacklist (paper, section 3)")
 	}
+	if c.ConcMarkWorkers < 0 {
+		return nil, fmt.Errorf("core: ConcMarkWorkers must be >= 0, got %d", c.ConcMarkWorkers)
+	}
 	heap, err := alloc.New(space, alloc.Config{
 		HeapBase:                 c.HeapBase,
 		InitialBytes:             c.InitialHeapBytes,
@@ -788,6 +864,10 @@ func NewWorld(space *mem.AddressSpace, cfg Config) (*World, error) {
 		DiscontiguousGrowth:      c.DiscontiguousGrowth,
 		LazySweep:                c.LazySweep,
 		LineAlloc:                c.LineAlloc,
+		// Heap-word stores go atomic whenever a cycle *could* detach
+		// (adaptive selection can pick any width at any cycle); explicit
+		// width 1 pins the plain-store lock-chunked path.
+		AtomicWords: c.ConcurrentMark && c.ConcMarkWorkers != 1,
 	})
 	if err != nil {
 		return nil, err
@@ -899,6 +979,24 @@ func (w *World) AllocateIgnoreOffPage(nwords int, atomic bool) (mem.Addr, error)
 // (for allocator-residue simulation) — the attached RootSource for the
 // direct World entry points, the handle's source for Mutator ones.
 func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func() (mem.Addr, error)) (mem.Addr, error) {
+	if w.cfg.ConcurrentMark {
+		// The allocation primitives mutate heap structure (free-list
+		// threading, block claims, extent mapping); during a detached
+		// phase they must exclude the background workers' read-holds.
+		// lockHeapLocked is a bare call outside one, so the wrap costs
+		// lock-chunked and stop-the-world cycles nothing but a closure.
+		tryRaw, desperateRaw := try, desperate
+		try = func() (p mem.Addr, err error) {
+			w.lockHeapLocked(func() { p, err = tryRaw() })
+			return p, err
+		}
+		if desperateRaw != nil {
+			desperate = func() (p mem.Addr, err error) {
+				w.lockHeapLocked(func() { p, err = desperateRaw() })
+				return p, err
+			}
+		}
+	}
 	// Regular-interval trigger. Incremental mode starts a cycle and
 	// advances it in bounded steps; concurrent mode starts a cycle and
 	// hands it to a background driver goroutine; generational mode
@@ -923,15 +1021,16 @@ func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func()
 				go w.driveConcurrent(w.concGen)
 			}
 		} else {
-			// Allocation-proportional assist, the incremental branch's
-			// idiom below: each slow-path allocation advances the cycle by
-			// one bounded chunk, so marking keeps pace with allocation
-			// even when the background driver is starved of processor
-			// time (few cores, many mutators). The chunk that drains the
-			// gray set runs the finale right here — completing a cycle
-			// from an allocation slow path is already the ErrNeedMemory
-			// path's behaviour.
-			w.concChunkLocked(w.cfg.MarkQuantum)
+			// Rate-based assist (detached.go): the pacer debits this
+			// allocation's share of the cycle's marking and repays it with
+			// bounded chunks only when the background workers (or the
+			// lock-chunked driver) have fallen behind, so marking keeps
+			// pace with allocation without taxing every slow path the way
+			// the old fixed per-allocation chunk did. A repayment chunk
+			// that drains the gray set runs the finale right here —
+			// completing a cycle from an allocation slow path is already
+			// the ErrNeedMemory path's behaviour.
+			w.pacerAssistLocked()
 		}
 	} else if w.cfg.Incremental {
 		st := w.Heap.Stats()
@@ -988,7 +1087,9 @@ func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func()
 		if amortized := w.Heap.Stats().HeapBytes / 8; grow < amortized {
 			grow = amortized
 		}
-		if eerr := w.Heap.Expand(grow); eerr != nil {
+		var eerr error
+		w.lockHeapLocked(func() { eerr = w.Heap.Expand(grow) })
+		if eerr != nil {
 			if w.cfg.DesperateFallback && desperate != nil {
 				if p, derr := desperate(); derr == nil {
 					return p, nil
@@ -1005,8 +1106,14 @@ func (w *World) allocateLocked(nwords int, src RootSource, try, desperate func()
 		// Born black: the fresh object is zero-filled, so there is
 		// nothing to scan at birth, and the mark bit keeps this cycle's
 		// sweep off it. Later stores into it are caught by the write
-		// barrier like stores into any other black object.
-		w.Heap.Mark(p)
+		// barrier like stores into any other black object. Against
+		// detached workers the bit must be set with the same CAS they
+		// race on.
+		if w.concDetached {
+			w.Heap.MarkAtomic(p)
+		} else {
+			w.Heap.Mark(p)
+		}
 	}
 	if w.cfg.AllocatorResidue {
 		if rs, ok := src.(residueSimulator); ok {
@@ -1402,7 +1509,9 @@ func (w *World) RegisterFinalizable(a mem.Addr) { w.finalizable[a] = struct{}{} 
 func (w *World) FinishSweep() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.Heap.FinishSweep()
+	n := 0
+	w.lockHeapLocked(func() { n = w.Heap.FinishSweep() })
+	return n
 }
 
 // DrainReclaimed returns and clears the queue of reclaimed registered

@@ -46,6 +46,7 @@ func (p *Parallel) ResetCycle() {
 	for _, w := range p.workers {
 		w.m.Reset()
 	}
+	p.assist.m.Reset()
 }
 
 // AddGrays stages already-marked objects for scanning by the next
@@ -88,6 +89,7 @@ func (p *Parallel) RunBounded(budget int) (done bool) {
 	for _, w := range p.workers {
 		w.pending.flush()
 	}
+	p.assist.pending.flush()
 	return true
 }
 

@@ -108,6 +108,12 @@ type Marker struct {
 	// atomicMark switches Mark to the CAS-based MarkAtomic, required
 	// when several markers share the heap (see parallel.go).
 	atomicMark bool
+	// atomicLoad switches ScanObject's heap-word reads to atomic loads,
+	// required for detached background workers that scan while mutators
+	// store concurrently (the stores are atomic too, via the heap
+	// segment's atomic-store mode). Off for stop-the-world marking,
+	// where exclusion already orders every access.
+	atomicLoad bool
 	// overflow, when set, is invoked after a push that grows the stack
 	// to spillThreshold or beyond; parallel workers use it to shed work
 	// onto the shared queue. nil for the serial marker.
@@ -300,7 +306,7 @@ func (m *Marker) ScanObject(base mem.Addr) {
 		for i := 0; i < desc.Words; i++ {
 			if desc.PointerAt(i) {
 				m.stats.FieldsScanned++
-				if w := ws[i]; w != 0 {
+				if w := m.fieldWord(ws, i); w != 0 {
 					if m.rec {
 						m.org.index = int32(i)
 					}
@@ -314,6 +320,17 @@ func (m *Marker) ScanObject(base mem.Addr) {
 		m.org = provOrigin{kind: RootNone, area: base}
 	}
 	m.stats.FieldsScanned += uint64(words)
+	if m.atomicLoad {
+		for i := range ws {
+			if w := mem.LoadWordAtomic(&ws[i]); w != 0 {
+				if m.rec {
+					m.org.index = int32(i)
+				}
+				m.MarkValue(w)
+			}
+		}
+		return
+	}
 	for i, w := range ws {
 		if w != 0 { // zero is never a heap address
 			if m.rec {
@@ -322,6 +339,15 @@ func (m *Marker) ScanObject(base mem.Addr) {
 			m.MarkValue(w)
 		}
 	}
+}
+
+// fieldWord reads one heap object word, atomically when the marker runs
+// detached from the store path's lock.
+func (m *Marker) fieldWord(ws []mem.Word, i int) mem.Word {
+	if m.atomicLoad {
+		return mem.LoadWordAtomic(&ws[i])
+	}
+	return ws[i]
 }
 
 // Drain transitively scans queued objects until the mark stack is

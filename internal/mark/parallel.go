@@ -171,6 +171,12 @@ type Parallel struct {
 	cfg     Config
 	shared  *blacklist.Locked
 	workers []*worker
+	// assist is a dedicated marker shard for mutator slow-path assists
+	// during detached concurrent cycles (detached.go). It shares the
+	// queue and blacklist like a worker but is never spawned by Run or
+	// RunBounded, so an assist under the world lock can run while the
+	// detached worker goroutines own the regular shards.
+	assist  *worker
 	queue   taskQueue
 	idle    atomic.Int32
 	credits atomic.Int64 // bounded-run scan budget (see bounded.go)
@@ -194,14 +200,19 @@ func NewParallel(heap *alloc.Allocator, cfg Config, workers int) *Parallel {
 		bl = blacklist.Disabled{}
 	}
 	p := &Parallel{heap: heap, cfg: cfg, shared: blacklist.NewLocked(bl)}
-	for i := 0; i < workers; i++ {
+	for i := 0; i <= workers; i++ {
 		buf := &addrBuffer{shared: p.shared}
 		wcfg := cfg
 		wcfg.Blacklist = buf
 		m := New(heap, wcfg)
 		m.atomicMark = true
 		m.overflow = p.spill
-		p.workers = append(p.workers, &worker{m: m, pending: buf, p: p})
+		w := &worker{m: m, pending: buf, p: p}
+		if i == workers {
+			p.assist = w
+		} else {
+			p.workers = append(p.workers, w)
+		}
 	}
 	return p
 }
@@ -221,6 +232,7 @@ func (p *Parallel) SetTracer(r *trace.Recorder) {
 	for _, w := range p.workers {
 		w.m.SetTracer(r)
 	}
+	p.assist.m.SetTracer(r)
 }
 
 // EachWorkerStats calls fn with every worker's statistics from the
@@ -284,6 +296,7 @@ func (p *Parallel) StartRecording() {
 	for _, w := range p.workers {
 		w.m.StartRecording()
 	}
+	p.assist.m.StartRecording()
 }
 
 // Recording reports whether the workers are recording provenance.
@@ -297,6 +310,7 @@ func (p *Parallel) StopRecording() []ParentRecord {
 	for _, w := range p.workers {
 		out = append(out, w.m.StopRecording()...)
 	}
+	out = append(out, p.assist.m.StopRecording()...)
 	return out
 }
 
@@ -334,6 +348,7 @@ func (p *Parallel) Run() Stats {
 	p.queue.size.Store(int32(len(p.queue.tasks)))
 	p.staged = p.staged[:0]
 	p.idle.Store(0)
+	p.assist.m.Reset()
 	p.wg.Add(len(p.workers))
 	for _, w := range p.workers {
 		w.m.Reset()
@@ -343,6 +358,7 @@ func (p *Parallel) Run() Stats {
 	for _, w := range p.workers {
 		w.pending.flush()
 	}
+	p.assist.pending.flush()
 	return p.AggStats()
 }
 
@@ -352,17 +368,22 @@ func (p *Parallel) Run() Stats {
 func (p *Parallel) AggStats() Stats {
 	var agg Stats
 	for _, w := range p.workers {
-		s := w.m.Stats()
-		agg.WordsScanned += s.WordsScanned
-		agg.Candidates += s.Candidates
-		agg.ObjectsMarked += s.ObjectsMarked
-		agg.BytesMarked += s.BytesMarked
-		agg.FieldsScanned += s.FieldsScanned
-		agg.FalseNearHeap += s.FalseNearHeap
-		agg.AtomicSkipped += s.AtomicSkipped
-		agg.InteriorResolved += s.InteriorResolved
+		agg.add(w.m.Stats())
 	}
+	agg.add(p.assist.m.Stats())
 	return agg
+}
+
+// add accumulates o into s field by field.
+func (s *Stats) add(o Stats) {
+	s.WordsScanned += o.WordsScanned
+	s.Candidates += o.Candidates
+	s.ObjectsMarked += o.ObjectsMarked
+	s.BytesMarked += o.BytesMarked
+	s.FieldsScanned += o.FieldsScanned
+	s.FalseNearHeap += o.FalseNearHeap
+	s.AtomicSkipped += o.AtomicSkipped
+	s.InteriorResolved += o.InteriorResolved
 }
 
 // runWorker is one worker's loop: drain the local stack, then steal

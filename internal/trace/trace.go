@@ -117,6 +117,10 @@ const (
 	// pause duration in nanoseconds, A1 dirty blocks rescanned in the
 	// pause, A2 concurrent rescan passes run before it.
 	EvFinalPause
+	// EvPacerAssist records one mutator slow-path assist repaying mark
+	// debt to the pacer. A0 assist duration in nanoseconds, A1 bytes of
+	// debt that triggered it, A2 the pacer credit after repayment.
+	EvPacerAssist
 
 	numKinds // sentinel: keep last
 )
@@ -144,6 +148,7 @@ var kindNames = [numKinds]string{
 	EvSpanRefill:     "span_refill",
 	EvBarrierDirty:   "barrier_dirty",
 	EvFinalPause:     "final_pause",
+	EvPacerAssist:    "pacer_assist",
 }
 
 func (k Kind) String() string {

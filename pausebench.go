@@ -35,9 +35,11 @@ type PauseBenchOptions struct {
 // advisory.
 type PauseBenchRow struct {
 	// PauseMode is "stw" (every cycle a full stop-the-world
-	// collection) or "concurrent" (Config.ConcurrentMark: marking on a
-	// background worker, mutators paused only for the snapshot and the
-	// bounded finale).
+	// collection), "concurrent" (Config.ConcurrentMark pinned to the
+	// single lock-chunked driver: mutators paused only for the snapshot
+	// and the bounded finale), or "concurrent-workers" (detached
+	// marking on ConcMarkWorkers goroutines plus the background
+	// sweeper).
 	PauseMode        string `json:"pause_mode"`
 	Mutators         int    `json:"mutators"`
 	ObjectsAllocated uint64 `json:"objects_allocated"`
@@ -63,6 +65,15 @@ type PauseBenchRow struct {
 	// and candidate rows disagree here.
 	GoMaxProcs     int  `json:"gomaxprocs"`
 	Oversubscribed bool `json:"oversubscribed"`
+	// ConcWorkers is the detached background-marking width the row's
+	// cycles ran with (0: lock-chunked single driver). ConcPhaseNs
+	// totals the cycles' concurrent-phase wall time and ConcMarkObjsPerMs
+	// is MarkedConcurrent over that time — the background mark
+	// throughput the CI matrix compares across rows. Timing-derived,
+	// hence advisory in the gate like the pause columns.
+	ConcWorkers       int     `json:"conc_workers"`
+	ConcPhaseNs       int64   `json:"conc_phase_ns"`
+	ConcMarkObjsPerMs float64 `json:"conc_mark_objs_per_ms"`
 }
 
 // PauseBenchResult is the full measurement with the environment it
@@ -132,9 +143,25 @@ func PauseBench(opts PauseBenchOptions) (*PauseBenchResult, *stats.Table, error)
 		// slow-path assist budget: 4096 keeps each lock hold short
 		// (~0.1ms) while letting the cycle keep pace with allocation
 		// even when the driver goroutine is scheduled rarely.
+		// ConcMarkWorkers is pinned to 1 so this row stays the
+		// lock-chunked single-driver cycle regardless of the machine —
+		// the baseline the detached row is compared against.
 		{"concurrent", Config{
 			InitialHeapBytes: 8 << 20, ReserveHeapBytes: 64 << 20,
 			GCDivisor: 16, ConcurrentMark: true, MarkQuantum: 4096,
+			ConcMarkWorkers: 1,
+		}},
+		// Detached marking: four background workers pull the gray set
+		// without the world lock, the pacer sizes assists from the
+		// allocation rate, and the sweep backlog drains on a background
+		// goroutine. On fewer than 4 processors the workers oversubscribe
+		// the scheduler and the timing columns are advisory (the
+		// Oversubscribed flag marks such rows); the CI matrix runs the
+		// widths that measure it for real.
+		{"concurrent-workers", Config{
+			InitialHeapBytes: 8 << 20, ReserveHeapBytes: 64 << 20,
+			GCDivisor: 16, ConcurrentMark: true, MarkQuantum: 4096,
+			ConcMarkWorkers: 4, ConcurrentSweep: true,
 		}},
 	}
 	for _, width := range opts.Widths {
@@ -175,16 +202,19 @@ func PauseBench(opts PauseBenchOptions) (*PauseBenchResult, *stats.Table, error)
 	tab := stats.NewTable(
 		fmt.Sprintf("Mutator-visible pauses: stop-the-world vs concurrent marking (%d mutators x %d allocs, NumCPU=%d)",
 			opts.Mutators, opts.Ops, res.NumCPU),
-		"mode", "gomaxprocs", "cycles", "pause p50", "pause p99", "pause max", "snapshot p99", "live at end")
+		"mode", "gomaxprocs", "workers", "cycles", "pause p50", "pause p99", "pause max", "snapshot p99", "mark obj/ms", "live at end")
 	ms := func(ns float64) string { return fmt.Sprintf("%.3fms", ns/1e6) }
 	for _, r := range res.Rows {
-		snap := "-"
-		if r.PauseMode == "concurrent" {
+		snap, tput := "-", "-"
+		if r.PauseMode != "stw" {
 			snap = ms(r.SnapshotP99Ns)
 		}
-		tab.AddF(r.PauseMode, r.GoMaxProcs, r.Collections,
+		if r.ConcMarkObjsPerMs > 0 {
+			tput = fmt.Sprintf("%.0f", r.ConcMarkObjsPerMs)
+		}
+		tab.AddF(r.PauseMode, r.GoMaxProcs, r.ConcWorkers, r.Collections,
 			ms(r.PauseP50Ns), ms(r.PauseP99Ns), ms(r.PauseMaxNs),
-			snap, r.ObjectsLive)
+			snap, tput, r.ObjectsLive)
 	}
 	return res, tab, nil
 }
@@ -207,11 +237,17 @@ func pauseBenchRun(opts PauseBenchOptions, label string, cfg Config) (*PauseBenc
 	// the whole stop.
 	var finals, snaps []float64
 	var markedConc uint64
+	var concPhaseNs int64
+	concWorkers := 0
 	w.SetCollectionHook(func(st CollectionStats) {
 		if st.Concurrent {
 			finals = append(finals, float64(st.PauseFinalNs))
 			snaps = append(snaps, float64(st.PauseSnapshotNs))
 			markedConc += st.MarkedConcurrent
+			concPhaseNs += st.ConcPhaseNs
+			if st.ConcWorkers > concWorkers {
+				concWorkers = st.ConcWorkers
+			}
 		} else {
 			finals = append(finals, float64(st.Duration.Nanoseconds()))
 		}
@@ -274,6 +310,10 @@ func pauseBenchRun(opts PauseBenchOptions, label string, cfg Config) (*PauseBenc
 	w.SetCollectionHook(nil)
 	w.Collect()
 	w.Collect()
+	// Deferred-sweep modes (ConcurrentSweep implies LazySweep) may still
+	// hold a backlog; land it so the integrity walk and the live counts
+	// see a fully swept heap. No-op for eager rows.
+	w.FinishSweep()
 	if err := w.VerifyIntegrity(); err != nil {
 		return nil, fmt.Errorf("pausebench: %w", err)
 	}
@@ -296,5 +336,13 @@ func pauseBenchRun(opts PauseBenchOptions, label string, cfg Config) (*PauseBenc
 		SnapshotP99Ns:    pausePercentile(snaps, 99),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 		Oversubscribed:   n > runtime.GOMAXPROCS(0),
+		ConcWorkers:      concWorkers,
+		ConcPhaseNs:      concPhaseNs,
+		ConcMarkObjsPerMs: func() float64 {
+			if concPhaseNs <= 0 {
+				return 0
+			}
+			return float64(markedConc) / (float64(concPhaseNs) / 1e6)
+		}(),
 	}, nil
 }
