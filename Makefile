@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet lint build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench pausebench soak benchgate heapdump-smoke fuzz-smoke
+.PHONY: ci fmt vet lint build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench pausebench servebench soak tenantsoak benchgate heapdump-smoke fuzz-smoke
 
 ci: fmt vet lint build test race
 
@@ -49,6 +49,7 @@ bench:
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/gcbench -experiment allocbench -mutators 1,2 > /dev/null
+	$(GO) run ./cmd/gcbench -experiment servebench -tenants 32 -requests 6 > /dev/null
 
 # Regenerates BENCH_1.json (parallel mark scaling, machine-readable).
 # Worker counts above GOMAXPROCS are measured but flagged
@@ -92,12 +93,29 @@ allocbench:
 pausebench:
 	$(GO) run ./cmd/gcbench -experiment pausebench -mutators 8 -benchjson BENCH_6.json
 
+# Regenerates BENCH_7.json (multi-tenant serving under the three
+# over-budget policies, 1000 concurrent tenants per row). Admissions,
+# denials, evictions, reclamation, liveness and the fairness spread are
+# exact per-tenant invariants gated bit-for-bit; allocation-latency and
+# pause percentiles are advisory timing.
+servebench:
+	$(GO) run ./cmd/gcbench -experiment servebench -benchjson BENCH_7.json
+
 # Multi-mutator soak: many allocation/collection rounds against one
 # generational + lazy-sweep world, with a full allocator integrity
 # audit after every round. Not part of `make ci`; run it when touching
 # the safepoint protocol or the allocation caches.
 soak:
 	$(GO) run ./cmd/gcbench -experiment soak -mutators 8 -soak-cycles 100
+
+# Multi-tenant soak: wall-clock-bounded rounds of concurrent tenant
+# sessions (collect-first churn plus one eviction per round) with a
+# heap integrity audit and an exact attribution check for every tenant
+# after every round. Not part of `make ci`; the nightly workflow runs
+# it for five minutes.
+TENANT_SOAK_SECONDS ?= 60
+tenantsoak:
+	$(GO) run ./cmd/gcbench -experiment tenantsoak -tenants 64 -soak-seconds $(TENANT_SOAK_SECONDS)
 
 # Benchmark regression gate: rerun each benchmark in-process and diff
 # it against the checked-in baseline. Deterministic invariants (objects
@@ -130,3 +148,4 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz '^FuzzConcurrentAlloc$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run XXX -fuzz '^FuzzLineAlloc$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run XXX -fuzz '^FuzzConcurrentMark$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run XXX -fuzz '^FuzzTenantBudget$$' -fuzztime $(FUZZTIME) ./internal/core

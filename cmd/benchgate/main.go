@@ -15,7 +15,9 @@
 // "workers" are a markbench result, rows keyed by "mode" are a
 // sweepbench result, rows keyed by "mutators" are a mutbench result,
 // rows keyed by "pause_mode" are a pausebench result, rows keyed by
-// "round" are a retention result.
+// "policy" are a servebench result, rows keyed by "round" are a
+// retention result. The detected schema of every input file is named
+// on stderr before the comparison runs.
 // A machine-readable JSON report goes to stdout.
 // Exit status: 0 pass, 1 regression, 2 usage or I/O error.
 //
@@ -366,6 +368,54 @@ func ComparePause(base, cand *repro.PauseBenchResult, tol float64) *Report {
 	return rep.finish()
 }
 
+// CompareServe gates a candidate servebench result against a baseline.
+// Rows are matched by policy ("fail"/"collect-first"/"evict"). Every
+// tenant replays a deterministic session tape against a deterministic
+// budget, so the admission, denial, eviction, reclamation, liveness
+// and fairness columns are exact invariants; allocation-latency and
+// pause percentiles are timing, gated only when neither side is
+// oversubscribed. Forced-collection and cycle counts depend on which
+// tenant's charge happens to trip the collector first, so they are
+// reported in the JSON but never gated.
+func CompareServe(base, cand *repro.ServeBenchResult, tol float64) *Report {
+	rep := &Report{Schema: "servebench", Tolerance: tol}
+	byPolicy := make(map[string]repro.ServeBenchRow)
+	for _, row := range cand.Rows {
+		byPolicy[row.Policy] = row
+	}
+	for _, b := range base.Rows {
+		c, ok := byPolicy[b.Policy]
+		name := b.Policy
+		if !ok {
+			rep.Checks = append(rep.Checks, Check{
+				Name: name + "/present", Kind: "invariant",
+				Baseline: 1, Candidate: 0, Limit: 1, Pass: false,
+			})
+			continue
+		}
+		rep.invariantCheck(name+"/tenants", float64(b.Tenants), float64(c.Tenants))
+		rep.invariantCheck(name+"/requests", float64(b.Requests), float64(c.Requests))
+		rep.invariantCheck(name+"/objects_allocated",
+			float64(b.ObjectsAllocated), float64(c.ObjectsAllocated))
+		rep.invariantCheck(name+"/objects_live",
+			float64(b.ObjectsLive), float64(c.ObjectsLive))
+		rep.invariantCheck(name+"/denials", float64(b.Denials), float64(c.Denials))
+		rep.invariantCheck(name+"/evictions", float64(b.Evictions), float64(c.Evictions))
+		rep.invariantCheck(name+"/reclaimed_objects",
+			float64(b.ReclaimedObjects), float64(c.ReclaimedObjects))
+		rep.invariantCheck(name+"/fairness_spread",
+			float64(b.FairnessSpread), float64(c.FairnessSpread))
+		if !b.Oversubscribed && !c.Oversubscribed {
+			bg := effGMP(b.GoMaxProcs, base.GoMaxProcs)
+			cg := effGMP(c.GoMaxProcs, cand.GoMaxProcs)
+			rep.timeCheckGMP(name+"/alloc_p50_ns", b.AllocP50Ns, c.AllocP50Ns, bg, cg)
+			rep.timeCheckGMP(name+"/alloc_p99_ns", b.AllocP99Ns, c.AllocP99Ns, bg, cg)
+			rep.timeCheckGMP(name+"/pause_p99_ns", b.PauseP99Ns, c.PauseP99Ns, bg, cg)
+		}
+	}
+	return rep.finish()
+}
+
 // detectSchema classifies a benchmark JSON by its first row's keys.
 func detectSchema(data []byte) (string, error) {
 	var probe struct {
@@ -376,6 +426,11 @@ func detectSchema(data []byte) (string, error) {
 	}
 	if len(probe.Rows) == 0 {
 		return "", fmt.Errorf("no rows")
+	}
+	if _, ok := probe.Rows[0]["policy"]; ok {
+		// Before the generic "tenants"/"requests" keys could confuse
+		// anything: only servebench rows name an over-budget policy.
+		return "servebench", nil
 	}
 	if _, ok := probe.Rows[0]["pause_mode"]; ok {
 		// Before the generic "mutators" probe: pause rows carry both.
@@ -396,7 +451,7 @@ func detectSchema(data []byte) (string, error) {
 	if _, ok := probe.Rows[0]["round"]; ok {
 		return "retention", nil
 	}
-	return "", fmt.Errorf("rows have no \"pause_mode\", \"mode\", \"workers\", \"profile\", \"mutators\" or \"round\" keys")
+	return "", fmt.Errorf("rows have no \"policy\", \"pause_mode\", \"mode\", \"workers\", \"profile\", \"mutators\" or \"round\" keys")
 }
 
 // Gate loads the baseline, obtains a candidate (from candidatePath or a
@@ -567,6 +622,34 @@ func Gate(baselinePath, candidatePath string, tol float64) (*Report, error) {
 			cand = *res
 		}
 		return ComparePause(&base, &cand, tol), nil
+	case "servebench":
+		var base repro.ServeBenchResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, err
+		}
+		var cand repro.ServeBenchResult
+		if candData != nil {
+			if err := json.Unmarshal(candData, &cand); err != nil {
+				return nil, err
+			}
+		} else {
+			// The collect-first row's attempt count is opts.Requests
+			// requests of 4 allocations each; the other tapes are fixed.
+			reqs := 0
+			for _, r := range base.Rows {
+				if r.Policy == "collect-first" {
+					reqs = r.Requests / 4
+				}
+			}
+			res, _, err := repro.ServeBench(repro.ServeBenchOptions{
+				Tenants: base.Tenants, Requests: reqs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cand = *res
+		}
+		return CompareServe(&base, &cand, tol), nil
 	case "retention":
 		var base repro.RetentionBenchResult
 		if err := json.Unmarshal(baseData, &base); err != nil {
@@ -597,6 +680,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Name the schema detected for each input file up front: with seven
+	// BENCH_*.json schemas in the tree, a gate failure that silently
+	// compared the wrong benchmark family is much harder to diagnose
+	// than one that announced what it detected.
+	for _, path := range []string{*baselinePath, *candidatePath} {
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // Gate reports read errors with proper exit status.
+		}
+		if schema, err := detectSchema(data); err == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: detected schema %s\n", path, schema)
+		}
 	}
 	rep, err := Gate(*baselinePath, *candidatePath, *tolerance)
 	if err != nil {

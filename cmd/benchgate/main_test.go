@@ -291,3 +291,80 @@ func TestGateInProcessCandidate(t *testing.T) {
 		t.Fatalf("in-process candidate failed: %+v", rep.Checks)
 	}
 }
+
+func serveBase() *repro.ServeBenchResult {
+	return &repro.ServeBenchResult{
+		GoMaxProcs: 1, NumCPU: 1, Tenants: 64,
+		Rows: []repro.ServeBenchRow{
+			{Policy: "fail", Tenants: 64, Requests: 24, ObjectsAllocated: 1024,
+				ObjectsLive: 1024, Denials: 512, AllocP50Ns: 100, AllocP99Ns: 5000,
+				PauseP99Ns: 20000, GoMaxProcs: 1},
+			{Policy: "collect-first", Tenants: 64, Requests: 32, ObjectsAllocated: 2048,
+				ObjectsLive: 472, ReclaimedObjects: 1576, ForcedCollections: 90,
+				AllocP50Ns: 100, AllocP99Ns: 5000, PauseP99Ns: 20000, GoMaxProcs: 1},
+			{Policy: "evict", Tenants: 64, Requests: 20, ObjectsAllocated: 1024,
+				Evictions: 64, ReclaimedObjects: 1024, AllocP50Ns: 100,
+				AllocP99Ns: 5000, PauseP99Ns: 20000, GoMaxProcs: 1},
+		},
+	}
+}
+
+// TestCompareServeGates covers the servebench schema: rows match on
+// policy, the budget-contract columns (admissions, denials, evictions,
+// reclamation, liveness, fairness) gate exactly, timing gates with the
+// usual tolerance, forced-collection counts are never gated, and the
+// schema is detected from the "policy" row key.
+func TestCompareServeGates(t *testing.T) {
+	if rep := CompareServe(serveBase(), serveBase(), 2); !rep.Pass {
+		t.Fatalf("identical servebench results failed the gate: %+v", rep.Checks)
+	}
+	cand := serveBase()
+	cand.Rows[0].Denials = 511 // one tenant admitted past its budget
+	if rep := CompareServe(serveBase(), cand, 2); rep.Pass {
+		t.Fatal("diverged denial count passed the gate")
+	}
+	cand = serveBase()
+	cand.Rows[2].FairnessSpread = 4 // budget enforcement leaked between tenants
+	if rep := CompareServe(serveBase(), cand, 2); rep.Pass {
+		t.Fatal("nonzero fairness spread passed the gate")
+	}
+	cand = serveBase()
+	cand.Rows[1].ForcedCollections = 9999 // interleaving-dependent: never gated
+	if rep := CompareServe(serveBase(), cand, 2); !rep.Pass {
+		t.Fatalf("forced-collection count was gated: %+v", rep.Checks)
+	}
+	cand = serveBase()
+	cand.Rows[1].AllocP99Ns = 10001 // baseline 5000, tolerance 2 -> limit 10000
+	if rep := CompareServe(serveBase(), cand, 2); rep.Pass {
+		t.Fatal("2.0002x allocation-latency regression passed a 2x gate")
+	}
+	cand = serveBase()
+	cand.Rows = cand.Rows[:2] // evict row missing
+	if rep := CompareServe(serveBase(), cand, 2); rep.Pass {
+		t.Fatal("candidate missing a baseline policy row passed the gate")
+	}
+
+	data, err := json.Marshal(serveBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := detectSchema(data)
+	if err != nil || schema != "servebench" {
+		t.Fatalf("detectSchema = %q, %v; want servebench", schema, err)
+	}
+}
+
+func TestGateServeSchemaMismatch(t *testing.T) {
+	if _, err := Gate(writeJSON(t, "b.json", serveBase()),
+		writeJSON(t, "c.json", markBase()), 2); err == nil {
+		t.Fatal("servebench baseline vs markbench candidate did not error")
+	}
+	rep, err := Gate(writeJSON(t, "sb.json", serveBase()),
+		writeJSON(t, "sc.json", serveBase()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "servebench" || !rep.Pass {
+		t.Fatalf("identical servebench baseline: schema=%q pass=%v", rep.Schema, rep.Pass)
+	}
+}

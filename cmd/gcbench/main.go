@@ -31,7 +31,9 @@
 //	mutbench    concurrent-mutator allocation throughput by mutator count
 //	allocbench  free-list vs line-heap allocation profiles by mutator count
 //	pausebench  stop-the-world vs mostly-concurrent marking pause percentiles
+//	servebench  multi-tenant serving: per-tenant budgets under three policies
 //	soak        long multi-mutator churn with per-cycle integrity audits
+//	tenantsoak  wall-clock-bounded multi-tenant churn with per-round audits
 //	retention   spurious-retention attribution on the section-4 lazy stream
 package main
 
@@ -50,7 +52,7 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|mutbench|allocbench|pausebench|soak|retention|all)")
+	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|mutbench|allocbench|pausebench|servebench|soak|tenantsoak|retention|all)")
 	seeds      = flag.Int("seeds", 3, "seeds per table-1 and pcrsweep cell")
 	parallel   = flag.Int("parallel", 8, "concurrent runs for table-1 style sweeps")
 	seed       = flag.Uint64("seed", 1, "base seed for single-run experiments")
@@ -59,6 +61,9 @@ var (
 	workers    = flag.String("workers", "", "comma-separated markbench worker counts (default: powers of two up to GOMAXPROCS)")
 	mutators   = flag.String("mutators", "", "comma-separated mutbench mutator counts, or the soak mutator count (default: powers of two up to GOMAXPROCS; soak: 8)")
 	soakCycles = flag.Int("soak-cycles", 20, "soak rounds (each ends in a collection and an integrity audit)")
+	tenants    = flag.Int("tenants", 0, "servebench/tenantsoak tenant count (servebench default: 1000; tenantsoak: 64)")
+	requests   = flag.Int("requests", 0, "servebench collect-first requests per session (default: 12)")
+	soakSecs   = flag.Int("soak-seconds", 60, "tenantsoak wall-clock budget in seconds")
 	traceOut   = flag.String("trace", "", "write a JSON event trace of markbench/sweepbench collections to this file")
 )
 
@@ -127,14 +132,17 @@ func main() {
 		"mutbench":   runMutBench,
 		"allocbench": runAllocBench,
 		"pausebench": runPauseBench,
+		"servebench": runServeBench,
 		"soak":       runSoak,
+		"tenantsoak": runTenantSoak,
 		"retention":  runRetention,
 	}
 	order := []string{
 		"table1", "figure1", "stackclear", "grids", "structures",
 		"overhead", "largeobj", "pcrsweep", "frag", "dualrun", "genceiling",
 		"placement", "atomic", "typed", "pauses", "obs5", "markbench",
-		"sweepbench", "mutbench", "allocbench", "pausebench", "retention",
+		"sweepbench", "mutbench", "allocbench", "pausebench", "servebench",
+		"retention",
 	}
 	var todo []string
 	if *experiment == "all" {
@@ -496,6 +504,166 @@ func runPauseBench() error {
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 	}
+	return writeTrace()
+}
+
+func runServeBench() error {
+	res, tab, err := repro.ServeBench(repro.ServeBenchOptions{
+		Tenants: *tenants, Requests: *requests, Trace: getBenchTracer(),
+	})
+	if err != nil {
+		return err
+	}
+	printTable(tab)
+	fmt.Println("Each policy row replays one deterministic session tape per tenant against a")
+	fmt.Println("fixed budget, so admissions, denials, evictions, reclamation and liveness")
+	fmt.Println("are exact and gated by cmd/benchgate; a zero fairness spread means budget")
+	fmt.Println("enforcement never leaked between tenants. Latency and pause percentiles")
+	fmt.Println("are timing and stay advisory.")
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	return writeTrace()
+}
+
+// runTenantSoak churns -tenants collect-first tenants (plus one fresh
+// evict tenant per round) against one concurrent-marking world until
+// the -soak-seconds wall-clock budget runs out. Every round ends in a
+// settling collection, a full allocator integrity audit, and an exact
+// attribution check for every tenant ever created, so budget-counter
+// drift or a slot freed out from under its owner fails the soak even
+// when the heap itself stays consistent.
+func runTenantSoak() error {
+	nTen := *tenants
+	if nTen == 0 {
+		nTen = 64
+	}
+	w, err := repro.NewWorld(repro.Config{
+		InitialHeapBytes: 8 << 20, ReserveHeapBytes: 64 << 20,
+		GCDivisor: 16, ConcurrentMark: true, MarkQuantum: 4096,
+		ConcMarkWorkers: 4, ConcurrentSweep: true,
+	})
+	if err != nil {
+		return err
+	}
+	w.SetTracer(getBenchTracer())
+	const slots = 12
+	// One root region per persistent tenant, plus a final region the
+	// round's evict tenant uses and a maintenance mutator clears after
+	// the eviction (so its dangling roots cannot pin later rounds).
+	data, err := w.Space.MapNew("roots", repro.KindData, 0x2000,
+		(nTen+1)*slots*4, (nTen+1)*slots*4)
+	if err != nil {
+		return err
+	}
+	maint := w.NewMutator()
+	evictBase := repro.Addr(0x2000 + nTen*slots*4)
+	tens := make([]*repro.Tenant, nTen)
+	muts := make([]*repro.Mutator, nTen)
+	for i := range tens {
+		tens[i] = w.NewTenant(repro.TenantConfig{
+			Name:        fmt.Sprintf("t%d", i),
+			BudgetBytes: 16 * 32, // sixteen 8-word objects
+			Policy:      repro.TenantCollectFirst,
+		})
+		muts[i] = tens[i].NewMutator()
+	}
+	fmt.Printf("Tenant soak: %d collect-first tenants + 1 evict tenant/round for %ds...\n",
+		nTen, *soakSecs)
+	deadline := time.Now().Add(time.Duration(*soakSecs) * time.Second)
+	round := 0
+	for time.Now().Before(deadline) {
+		round++
+		// One fresh evict tenant per round: an 8-object budget against a
+		// 24-attempt leak tape, so it is always evicted mid-session.
+		evt := w.NewTenant(repro.TenantConfig{
+			Name:        fmt.Sprintf("evict-r%d", round),
+			BudgetBytes: 8 * 32,
+			Policy:      repro.TenantEvict,
+		})
+		evm := evt.NewMutator()
+		var wg sync.WaitGroup
+		errs := make([]error, nTen+1)
+		for i := 0; i < nTen; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = repro.RunServeSession(muts[i], data, repro.Addr(0x2000+i*slots*4),
+					repro.ServeSessionParams{
+						Kind: repro.ServeScheme, Requests: 6, AllocsPerRequest: 4,
+						ObjWords: 8, Slots: slots,
+						Seed: uint64(round)*0x9e3779b97f4a7c15 + uint64(i) + 1,
+					})
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := repro.RunServeSession(evm, data, evictBase,
+				repro.ServeSessionParams{
+					Kind: repro.ServeLeak, Requests: 6, AllocsPerRequest: 4,
+					ObjWords: 8, Slots: slots, Seed: uint64(round) + 1,
+				})
+			if err == nil && !res.Evicted {
+				err = fmt.Errorf("evict tenant finished un-evicted (allocated %d)", res.Allocated)
+			}
+			errs[nTen] = err
+		}()
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("tenant soak round %d, session %d: %w", round, i, err)
+			}
+		}
+		// Clear the evicted tenant's stale roots from a bare mutator (its
+		// own handle is cancelled).
+		for j := 0; j < slots; j++ {
+			if err := maint.Store(evictBase+repro.Addr(4*j), 0); err != nil {
+				return err
+			}
+		}
+		// Settle and audit: heap integrity, eviction exactness, and
+		// per-tenant attribution for every tenant ever created.
+		w.Collect()
+		w.FinishSweep()
+		if err := w.VerifyIntegrity(); err != nil {
+			return fmt.Errorf("tenant soak round %d: %w", round, err)
+		}
+		if st := evt.Stats(); !st.Evicted || st.LiveBytes != 0 {
+			return fmt.Errorf("tenant soak round %d: evict tenant live=%d evicted=%v",
+				round, st.LiveBytes, st.Evicted)
+		}
+		var total uint64
+		for _, t := range w.Tenants() {
+			st := t.Stats()
+			if owned := t.OwnedBytes(); st.LiveBytes != owned {
+				return fmt.Errorf("tenant soak round %d: tenant %s live %d bytes vs %d owned",
+					round, t.Name(), st.LiveBytes, owned)
+			}
+			total += st.AllocatedObjects
+		}
+		if got := w.Heap.Stats().ObjectsAllocated; got != total {
+			return fmt.Errorf("tenant soak round %d: central ObjectsAllocated %d, tenants allocated %d",
+				round, got, total)
+		}
+		if round%25 == 0 {
+			hs := w.Heap.Stats()
+			fmt.Printf("  round %d: %d objs allocated, %d live, %d collections\n",
+				round, hs.ObjectsAllocated, hs.ObjectsLive, w.Collections())
+		}
+	}
+	hs := w.Heap.Stats()
+	fmt.Printf("Survived %d rounds: %d objects allocated, %d live, %d collections,\n",
+		round, hs.ObjectsAllocated, hs.ObjectsLive, w.Collections())
+	fmt.Println("every round audited for heap integrity, eviction exactness and per-tenant")
+	fmt.Println("attribution (LiveBytes == owned bytes for every tenant ever created).")
 	return writeTrace()
 }
 

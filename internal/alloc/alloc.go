@@ -353,6 +353,13 @@ type Allocator struct {
 	lineSpans   [64]Span
 	linePartial [64][]int
 	lineFreed   [64][]mem.Addr
+	// Per-tenant ownership attribution (owners.go): owned maps object
+	// base addresses to the tenant that allocated them, ownerCredit
+	// returns a dead object's bytes to its tenant. nil/unused until the
+	// first budgeted tenant tags an object — untenanted worlds pay
+	// nothing.
+	owned       map[mem.Addr]ownerRec
+	ownerCredit func(id int32, objects, bytes uint64)
 	// hullLo/hullHi cache the reserved-range hull over all extents:
 	// every address any extent could ever commit lies in [hullLo,
 	// hullHi). The marker's candidate fast path rejects the common

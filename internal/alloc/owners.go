@@ -1,0 +1,118 @@
+package alloc
+
+import "repro/internal/mem"
+
+// Per-tenant byte attribution (core's multi-tenant serving layer, see
+// DESIGN.md section 5i). The allocator keeps an optional side table
+// mapping object base addresses to the tenant that allocated them, so
+// over-budget policies can credit a tenant when its objects die and an
+// eviction can enumerate exactly the objects a tenant still owns.
+//
+// The table is nil until the first TagOwner call: worlds that never
+// create a budgeted tenant pay nothing — no map, no lookups, no change
+// to any allocation path (the unbudgeted-tenant differential test pins
+// this bit-for-bit). All methods are called under the world's central
+// lock (and, where they read block state, inside lockHeapLocked), like
+// every other allocator mutation.
+
+// ownerRec is one owned object: the owning tenant and the bytes its
+// allocation charged (the padded class size for small and typed
+// objects, the exact word size for large ones — the same value the
+// central BytesAllocated accounting used).
+type ownerRec struct {
+	id    int32
+	bytes uint64
+}
+
+// SetOwnerCredit installs the callback ReconcileOwners and TagOwner
+// displacement use to return a dead object's bytes to its tenant.
+func (a *Allocator) SetOwnerCredit(fn func(id int32, objects, bytes uint64)) {
+	a.ownerCredit = fn
+}
+
+// TagOwner records that the object at base is owned by tenant id and
+// charged the given bytes. A stale record at the same address (the
+// slot died, was reconciled late or never, and was reallocated) is
+// credited back to its previous owner first, so attribution can never
+// leak across a reallocation.
+func (a *Allocator) TagOwner(base mem.Addr, id int32, bytes uint64) {
+	if a.owned == nil {
+		a.owned = make(map[mem.Addr]ownerRec)
+	}
+	if old, ok := a.owned[base]; ok && a.ownerCredit != nil {
+		a.ownerCredit(old.id, 1, old.bytes)
+	}
+	a.owned[base] = ownerRec{id: id, bytes: bytes}
+}
+
+// UntagOwner drops the ownership record at base without crediting
+// anyone: the slot was carved for a tenant's cache but never consumed
+// (safepoint flushes return such slots to the central free lists).
+func (a *Allocator) UntagOwner(base mem.Addr) {
+	if a.owned != nil {
+		delete(a.owned, base)
+	}
+}
+
+// TakeOwner removes and returns the ownership record at base, for an
+// explicit Free that credits the tenant immediately.
+func (a *Allocator) TakeOwner(base mem.Addr) (id int32, bytes uint64, ok bool) {
+	rec, ok := a.owned[base]
+	if ok {
+		delete(a.owned, base)
+	}
+	return rec.id, rec.bytes, ok
+}
+
+// ReconcileOwners walks the ownership table and credits every record
+// whose object is no longer allocated — swept by the cycle that just
+// finished, or classified dead by a lazy barrier (IsAllocated reads a
+// pending-sweep block's mark bits, so reconciliation does not wait for
+// the demand sweep). Returns the total objects and bytes credited.
+// Called at collection barriers and before over-budget policy
+// decisions; a no-op (nil map) until the first budgeted tenant.
+func (a *Allocator) ReconcileOwners() (objects, bytes uint64) {
+	for base, rec := range a.owned {
+		if a.IsAllocated(base) {
+			continue
+		}
+		delete(a.owned, base)
+		objects++
+		bytes += rec.bytes
+		if a.ownerCredit != nil {
+			a.ownerCredit(rec.id, 1, rec.bytes)
+		}
+	}
+	return objects, bytes
+}
+
+// OwnedOf returns the base addresses of every object tenant id still
+// owns, in unspecified order (eviction frees them all; order does not
+// affect reclamation totals).
+func (a *Allocator) OwnedOf(id int32) []mem.Addr {
+	var out []mem.Addr
+	for base, rec := range a.owned {
+		if rec.id == id {
+			out = append(out, base)
+		}
+	}
+	return out
+}
+
+// OwnedBytes sums the charged bytes of every object tenant id still
+// owns — after a full sweep and reconcile it must equal the tenant's
+// live-byte counter exactly (the attribution-drift invariant the SLO
+// test asserts).
+func (a *Allocator) OwnedBytes(id int32) uint64 {
+	var sum uint64
+	for _, rec := range a.owned {
+		if rec.id == id {
+			sum += rec.bytes
+		}
+	}
+	return sum
+}
+
+// HasOwners reports whether any ownership records exist (the
+// collection barrier skips reconciliation entirely when none do).
+func (a *Allocator) HasOwners() bool { return len(a.owned) > 0 }

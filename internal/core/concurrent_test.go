@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -125,26 +126,43 @@ func TestConcurrentMutatorBattery(t *testing.T) {
 		// entry for the full no-lock machinery (CAS mark bits, atomic
 		// heap words, heapMu exclusion, pacer assists).
 		"conc-workers": {ConcurrentMark: true, GCDivisor: 6, ConcMarkWorkers: 4, ConcurrentSweep: true},
+		// Sixteen budgeted tenants under the full no-lock machinery: the
+		// race entry for the ownership table, the fast-path budget CAS,
+		// the barrier reconcile, and collect-first's forced collections
+		// racing the detached workers. Budgets are generous enough that
+		// collect-first always finds headroom, so the battery's
+		// no-operation-errors invariant still holds.
+		"tenants": {ConcurrentMark: true, GCDivisor: 6, ConcMarkWorkers: 4, ConcurrentSweep: true},
 	}
-	const nMut = 8
 	ops := 400
 	if testing.Short() {
 		ops = 120
 	}
 	for name, cfg := range configs {
 		cfg := cfg
+		nMut := 8
+		tenanted := name == "tenants"
+		if tenanted {
+			nMut = 16
+		}
 		t.Run(name, func(t *testing.T) {
 			w := newWorld(t, cfg)
 			const slotBytes = 16 * 4
 			data := addData(t, w, "roots", 0x2000, nMut*slotBytes)
 			muts := make([]*Mutator, nMut)
+			tens := make([]*Tenant, nMut)
 			for g := range muts {
-				muts[g] = w.NewMutator()
+				if tenanted {
+					tens[g] = w.NewTenant(TenantConfig{BudgetBytes: 1 << 20, Policy: TenantCollectFirst})
+					muts[g] = tens[g].NewMutator()
+				} else {
+					muts[g] = w.NewMutator()
+				}
 			}
 			var (
 				wg     sync.WaitGroup
-				counts [nMut]uint64
-				errs   [nMut]error
+				counts = make([]uint64, nMut)
+				errs   = make([]error, nMut)
 			)
 			for g := 0; g < nMut; g++ {
 				wg.Add(1)
@@ -174,6 +192,29 @@ func TestConcurrentMutatorBattery(t *testing.T) {
 			}
 			if got := w.Heap.Stats().ObjectsAllocated; got != total {
 				t.Fatalf("central ObjectsAllocated = %d, mutators allocated %d", got, total)
+			}
+			if tenanted {
+				// Per-tenant conservation and settled attribution: the
+				// tenants' own counters see exactly the battery's
+				// allocations, and after the final collection each
+				// tenant's budget counter matches the ownership table.
+				w.Collect()
+				w.FinishSweep()
+				var byTenants uint64
+				for g, ten := range tens {
+					st := ten.Stats()
+					byTenants += st.AllocatedObjects
+					if st.AllocatedObjects != counts[g] {
+						t.Fatalf("tenant %d: AllocatedObjects = %d, mutator allocated %d",
+							g, st.AllocatedObjects, counts[g])
+					}
+					if owned := ten.OwnedBytes(); st.LiveBytes != owned {
+						t.Fatalf("tenant %d: LiveBytes %d != owned bytes %d", g, st.LiveBytes, owned)
+					}
+				}
+				if byTenants != total {
+					t.Fatalf("sum of tenant AllocatedObjects = %d, want %d", byTenants, total)
+				}
 			}
 			// No double-carve: the goroutines' surviving roots are
 			// pairwise distinct addresses.
@@ -275,6 +316,123 @@ func FuzzLineAlloc(f *testing.F) {
 		{GCDivisor: 4, LazySweep: true, LineAlloc: true},
 		{Generational: true, MinorDivisor: 5, FullEvery: 2, LazySweep: true, LineAlloc: true},
 		{GCDivisor: 4, MarkWorkers: 2, LazySweep: true, LineAlloc: true},
+	})
+}
+
+// FuzzTenantBudget fuzzes budget enforcement: 2–4 tenants with small
+// budgets run a byte-scripted mix of rooted allocations, frees and
+// unroots under a fuzz-chosen collector config and over-budget policy.
+// Budget denials, cancellations and evictions are expected outcomes;
+// the invariants are that no other error ever surfaces, the final
+// integrity audit passes, object counts are conserved through the
+// tenants' own counters, and settled budget accounting matches the
+// allocator's ownership table exactly (evicted tenants at zero).
+func FuzzTenantBudget(f *testing.F) {
+	f.Add(uint8(2), uint8(0), []byte{0x00, 0x41, 0x9a, 0xe3, 0x07, 0xff, 0x22, 0x6d})
+	f.Add(uint8(3), uint8(1), []byte{0xe0, 0xe4, 0xe8, 0x02, 0x03, 0x83, 0x43, 0x23, 0x13, 0x0b})
+	f.Add(uint8(4), uint8(2), []byte{0x07, 0x07, 0x07, 0x07, 0x0f, 0x0f, 0x0f, 0x0f, 0xc3, 0xc7, 0xcb, 0xcf})
+	f.Add(uint8(2), uint8(0x15), []byte{0x00, 0x20, 0x40, 0x60, 0x80, 0xa0, 0xc0, 0xe0, 0x01, 0x21})
+	f.Add(uint8(3), uint8(0x23), []byte{0xff, 0xdf, 0xbf, 0x9f, 0x7f, 0x5f, 0x3f, 0x1f})
+	cfgs := []Config{
+		{GCDivisor: 4},
+		{GCDivisor: 4, LazySweep: true},
+		{Generational: true, MinorDivisor: 5, FullEvery: 2, LazySweep: true},
+		{GCDivisor: 4, LineAlloc: true},
+		{ConcurrentMark: true, GCDivisor: 4, ConcMarkWorkers: 2, ConcurrentSweep: true},
+	}
+	f.Fuzz(func(t *testing.T, nt, mode uint8, prog []byte) {
+		nTen := 2 + int(nt)%3
+		if len(prog) > 512 {
+			prog = prog[:512]
+		}
+		cfg := cfgs[int(mode)%len(cfgs)]
+		policy := TenantPolicy(int(mode>>4) % 3)
+		w := newWorld(t, cfg)
+		const slots = 8
+		const slotBytes = slots * 4
+		data := addData(t, w, "roots", 0x2000, 4*slotBytes)
+		tens := make([]*Tenant, nTen)
+		muts := make([]*Mutator, nTen)
+		for g := range tens {
+			tens[g] = w.NewTenant(TenantConfig{BudgetBytes: 2 << 10, Policy: policy})
+			muts[g] = tens[g].NewMutator()
+		}
+		sizes := []int{1, 2, 4, 8, 16, 32, 64, 600}
+		counts := make([]uint64, nTen)
+		roots := make([][slots]mem.Addr, nTen)
+		for i, b := range prog {
+			g := i % nTen
+			ten, m := tens[g], muts[g]
+			base := mem.Addr(0x2000 + g*slotBytes)
+			op := b & 3
+			j := uint32(b>>2) & 7
+			si := int(b >> 5)
+			switch op {
+			case 0, 1: // rooted allocation (op 1: atomic)
+				p, err := m.AllocateRooted(data, base+mem.Addr(4*j), sizes[si], op == 1)
+				if err != nil {
+					if !errors.Is(err, ErrBudgetExceeded) && !errors.Is(err, ErrTenantCancelled) {
+						t.Fatalf("tenant %d op %d: %v", g, i, err)
+					}
+					if ten.Evicted() {
+						// Eviction freed every root; drop the dangling slots.
+						for k := 0; k < slots; k++ {
+							if err := w.Store(base+mem.Addr(4*k), 0); err != nil {
+								t.Fatal(err)
+							}
+							roots[g][k] = 0
+						}
+					}
+					continue
+				}
+				counts[g]++
+				roots[g][j] = p
+			case 2: // free the rooted object, then clear the root
+				if roots[g][j] == 0 {
+					continue
+				}
+				if err := m.Free(roots[g][j]); err != nil {
+					t.Fatalf("tenant %d op %d: free: %v", g, i, err)
+				}
+				if err := w.Store(base+mem.Addr(4*j), 0); err != nil {
+					t.Fatal(err)
+				}
+				roots[g][j] = 0
+			case 3: // unroot (make garbage) or collect, by size bits
+				if si%2 == 0 {
+					if err := w.Store(base+mem.Addr(4*j), 0); err != nil {
+						t.Fatal(err)
+					}
+					roots[g][j] = 0
+				} else {
+					m.Collect()
+				}
+			}
+		}
+		w.Collect()
+		w.FinishSweep()
+		w.Collect()
+		w.FinishSweep()
+		if err := w.VerifyIntegrity(); err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for g, ten := range tens {
+			st := ten.Stats()
+			total += st.AllocatedObjects
+			if st.AllocatedObjects != counts[g] {
+				t.Fatalf("tenant %d: AllocatedObjects = %d, counted %d", g, st.AllocatedObjects, counts[g])
+			}
+			if st.Evicted && st.LiveBytes != 0 {
+				t.Fatalf("tenant %d: evicted with LiveBytes %d", g, st.LiveBytes)
+			}
+			if owned := ten.OwnedBytes(); st.LiveBytes != owned {
+				t.Fatalf("tenant %d: LiveBytes %d != owned bytes %d", g, st.LiveBytes, owned)
+			}
+		}
+		if got := w.Heap.Stats().ObjectsAllocated; got != total {
+			t.Fatalf("central ObjectsAllocated = %d, tenants allocated %d", got, total)
+		}
 	})
 }
 

@@ -97,6 +97,11 @@ type Mutator struct {
 	// m.mu: the fast path reads it under m.mu; root scans read it
 	// under w.mu with the mutator stopped.
 	src RootSource
+	// ten is the tenant this handle charges (nil for an untenanted
+	// handle; see tenant.go). Immutable after creation, so both the
+	// fast path (under m.mu) and the slow path (under w.mu) read it
+	// without further coordination.
+	ten *Tenant
 
 	// mu makes the owner goroutine's fast path visible to the
 	// safepoint protocol: stopMutatorsLocked acquires it (after w.mu —
@@ -130,10 +135,17 @@ type Mutator struct {
 // NewMutator registers and returns a new mutator handle. Handles are
 // permanent: they stay registered (and their stacks stay roots) for
 // the world's lifetime.
-func (w *World) NewMutator() *Mutator {
-	m := &Mutator{w: w, caches: make([]allocCache, 2*alloc.NumClasses)}
+func (w *World) NewMutator() *Mutator { return w.newMutator(nil) }
+
+// newMutator is the shared body of World.NewMutator and
+// Tenant.NewMutator: t non-nil binds the handle to that tenant.
+func (w *World) newMutator(t *Tenant) *Mutator {
+	m := &Mutator{w: w, ten: t, caches: make([]allocCache, 2*alloc.NumClasses)}
 	w.mu.Lock()
 	w.muts = append(w.muts, m)
+	if t != nil {
+		t.muts = append(t.muts, m)
+	}
 	m.resyncLocked()
 	w.met.mutators.Set(int64(len(w.muts)))
 	w.mu.Unlock()
@@ -193,9 +205,14 @@ func (m *Mutator) allocate(nwords int, atomic bool, dst *mem.Segment, at mem.Add
 		c := &m.caches[idx]
 		// Divert to the slow path at the allocation where the central
 		// trigger would fire: the collection must happen now, not when
-		// the cache next empties.
+		// the cache next empties. A tenant handle also charges its
+		// budget here with one CAS — a failed charge (or a cancelled
+		// tenant) diverts to the slow path, which resolves the
+		// over-budget policy under the central lock.
 		fromSpan := c.cursor < c.limit
-		if (fromSpan || c.next < len(c.run)) && !(m.hasTrigger && m.sinceGC > m.trigger) {
+		bytes := uint64(words) * mem.WordBytes
+		if (fromSpan || c.next < len(c.run)) && !(m.hasTrigger && m.sinceGC > m.trigger) &&
+			(m.ten == nil || m.ten.fastCharge(bytes)) {
 			p := c.cursor // line profile: bump the cached span's cursor
 			if !fromSpan {
 				p = c.run[c.next]
@@ -206,6 +223,9 @@ func (m *Mutator) allocate(nwords int, atomic bool, dst *mem.Segment, at mem.Add
 			// heap structures (see the fast-path rules above).
 			if dst != nil {
 				if err := dst.Store(at, mem.Word(p)); err != nil {
+					if m.ten != nil && m.ten.budgeted() {
+						m.ten.uncharge(bytes)
+					}
 					m.mu.Unlock()
 					return 0, err
 				}
@@ -215,10 +235,12 @@ func (m *Mutator) allocate(nwords int, atomic bool, dst *mem.Segment, at mem.Add
 			} else {
 				c.next++
 			}
-			bytes := uint64(words) * mem.WordBytes
 			m.sinceGC += bytes
 			m.unpubObjects++
 			m.unpubBytes += bytes
+			if m.ten != nil {
+				m.ten.noteAlloc(bytes)
+			}
 			m.stats.FastAllocs++
 			if m.w.cfg.AllocatorResidue {
 				if rs, ok := m.src.(residueSimulator); ok {
@@ -244,8 +266,23 @@ func (m *Mutator) allocateSlow(nwords int, atomic bool, dst *mem.Segment, at mem
 	defer m.resyncLocked()
 	m.stats.SlowAllocs++
 
+	// Tenant accounting: resolve cancellation and the budget before
+	// touching the heap — an over-budget allocation runs the tenant's
+	// policy (tenant.go) and may collect, evict, or deny right here.
+	// The charge is undone if the allocation below fails.
+	var tenCharge uint64
+	if t := m.ten; t != nil {
+		tenCharge = tenantChargeBytes(nwords)
+		if terr := w.tenantChargeLocked(t, tenCharge); terr != nil {
+			return 0, terr
+		}
+	}
+
 	var p mem.Addr
 	var err error
+	// tagged records that p already carries its owner tag (the carve
+	// paths tag every carved slot, including the one handed out now).
+	tagged := false
 	if nwords >= 1 && !alloc.IsLarge(nwords) && !w.cfg.Incremental {
 		class, words := alloc.ClassFor(nwords)
 		idx := class
@@ -283,6 +320,16 @@ func (m *Mutator) allocateSlow(nwords int, atomic bool, dst *mem.Segment, at mem
 						w.Heap.Mark(p)
 					}
 				}
+				if m.ten != nil && m.ten.budgeted() {
+					// Tag every carved slot with the owning tenant: the
+					// first is consumed now (charged above), the rest as
+					// the fast path hands them out. Safepoint flushes
+					// untag whatever returns unconsumed.
+					for p := s.Cursor; p < s.Limit; p += slotBytes {
+						w.Heap.TagOwner(p, m.ten.id, uint64(words)*mem.WordBytes)
+					}
+					tagged = true
+				}
 				m.recordSpanRefillLocked(idx, int((s.Limit-s.Cursor)/slotBytes), words)
 				return s.Cursor, nil
 			}
@@ -304,12 +351,20 @@ func (m *Mutator) allocateSlow(nwords int, atomic bool, dst *mem.Segment, at mem
 						w.Heap.Mark(s)
 					}
 				}
+				if m.ten != nil && m.ten.budgeted() {
+					// Tag every carved slot (see the span carve above).
+					for _, s := range run {
+						w.Heap.TagOwner(s, m.ten.id, uint64(words)*mem.WordBytes)
+					}
+					tagged = true
+				}
 				m.recordRefillLocked(idx, len(run), words)
 				return run[0], nil
 			}
 		}
 		desperate := func() (mem.Addr, error) {
 			carved = false
+			tagged = false
 			c.run = c.run[:0]
 			c.next = 0
 			c.cursor, c.limit = 0, 0
@@ -330,7 +385,18 @@ func (m *Mutator) allocateSlow(nwords int, atomic bool, dst *mem.Segment, at mem
 			func() (mem.Addr, error) { return w.Heap.AllocDesperate(nwords, atomic) })
 	}
 	if err != nil {
+		if t := m.ten; t != nil && t.budgeted() && tenCharge > 0 {
+			t.uncharge(tenCharge)
+		}
 		return 0, err
+	}
+	if t := m.ten; t != nil {
+		t.noteAlloc(tenCharge)
+		if t.budgeted() && !tagged {
+			// Large, incremental-mode and desperate allocations come
+			// from no carve; tag the object itself.
+			w.Heap.TagOwner(p, t.id, tenCharge)
+		}
 	}
 	if dst != nil {
 		// Root while still holding w.mu: no collection can run before
@@ -360,9 +426,18 @@ func (m *Mutator) AllocateTyped(id alloc.DescID) (mem.Addr, error) {
 	m.publishLocked()
 	defer m.resyncLocked()
 	m.stats.SlowAllocs++
-	return w.allocateLocked(d.Words, m.src,
+	var tenCharge uint64
+	if t := m.ten; t != nil {
+		tenCharge = tenantChargeBytes(d.Words)
+		if terr := w.tenantChargeLocked(t, tenCharge); terr != nil {
+			return 0, terr
+		}
+	}
+	p, err := w.allocateLocked(d.Words, m.src,
 		func() (mem.Addr, error) { return w.Heap.AllocTyped(id) },
 		nil)
+	m.settleTenantLocked(p, err, tenCharge)
+	return p, err
 }
 
 // AllocateIgnoreOffPage allocates a large object under the first-page
@@ -377,9 +452,38 @@ func (m *Mutator) AllocateIgnoreOffPage(nwords int, atomic bool) (mem.Addr, erro
 	m.publishLocked()
 	defer m.resyncLocked()
 	m.stats.SlowAllocs++
-	return w.allocateLocked(nwords, m.src,
+	var tenCharge uint64
+	if t := m.ten; t != nil {
+		tenCharge = tenantChargeBytes(nwords)
+		if terr := w.tenantChargeLocked(t, tenCharge); terr != nil {
+			return 0, terr
+		}
+	}
+	p, err := w.allocateLocked(nwords, m.src,
 		func() (mem.Addr, error) { return w.Heap.AllocIgnoreOffPage(nwords, atomic) },
 		nil)
+	m.settleTenantLocked(p, err, tenCharge)
+	return p, err
+}
+
+// settleTenantLocked finishes an uncached tenant allocation: uncharge
+// on failure, count and tag on success. Callers hold w.mu and have
+// charged tenCharge via tenantChargeLocked.
+func (m *Mutator) settleTenantLocked(p mem.Addr, err error, tenCharge uint64) {
+	t := m.ten
+	if t == nil {
+		return
+	}
+	if err != nil {
+		if t.budgeted() && tenCharge > 0 {
+			t.uncharge(tenCharge)
+		}
+		return
+	}
+	t.noteAlloc(tenCharge)
+	if t.budgeted() {
+		m.w.Heap.TagOwner(p, t.id, tenCharge)
+	}
 }
 
 // Free explicitly frees an object, like Allocator.Free. The handle's
@@ -393,7 +497,19 @@ func (m *Mutator) Free(base mem.Addr) error {
 	m.flushLocked()
 	defer m.resyncLocked()
 	var err error
-	w.lockHeapLocked(func() { err = w.Heap.Free(base) })
+	var ownerID int32
+	var ownerBytes uint64
+	var owned bool
+	w.lockHeapLocked(func() {
+		if err = w.Heap.Free(base); err == nil {
+			ownerID, ownerBytes, owned = w.Heap.TakeOwner(base)
+		}
+	})
+	if owned {
+		// An explicit free credits the owning tenant immediately — no
+		// need to wait for a collection barrier to reconcile it.
+		w.creditTenant(ownerID, 1, ownerBytes)
+	}
 	return err
 }
 
@@ -487,6 +603,14 @@ func (m *Mutator) returnCacheLocked(idx int) int {
 	c := &m.caches[idx]
 	rest := len(c.run) - c.next
 	if rest > 0 {
+		if m.ten != nil && m.ten.budgeted() {
+			// Unconsumed slots were tagged at carve but never charged;
+			// drop the tags without credit before the slots rejoin the
+			// free lists.
+			for _, s := range c.run[c.next:] {
+				m.w.Heap.UntagOwner(s)
+			}
+		}
 		// Free-list threading is a heap-structure mutation: exclude any
 		// detached mark workers (bare call outside a detached phase).
 		m.w.lockHeapLocked(func() {
@@ -496,6 +620,11 @@ func (m *Mutator) returnCacheLocked(idx int) int {
 	c.run = c.run[:0]
 	c.next = 0
 	if c.cursor < c.limit {
+		if m.ten != nil && m.ten.budgeted() {
+			for p, step := c.cursor, mem.Addr(c.words*mem.WordBytes); p < c.limit; p += step {
+				m.w.Heap.UntagOwner(p)
+			}
+		}
 		// Line profile: clear the span tail's alloc bits and requeue its
 		// block, so the very next carve re-issues the same cursor.
 		m.w.lockHeapLocked(func() {

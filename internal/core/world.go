@@ -462,6 +462,13 @@ type World struct {
 	finalizable    map[mem.Addr]struct{}
 	reclaimed      []mem.Addr
 	hook           func(CollectionStats)
+	// Multi-tenant serving state (tenant.go): tenants in creation order
+	// (a Tenant's id is its 1-based index here); ownerCreditSet records
+	// that the allocator's owner-credit callback was installed (done
+	// lazily by the first budgeted tenant, so untenanted worlds keep a
+	// nil ownership table).
+	tenants        []*Tenant
+	ownerCreditSet bool
 
 	// Observability (see DESIGN.md section 5c). tracer is nil unless
 	// SetTracer/EnableTracing installed one: every emit site nil-checks,
@@ -533,6 +540,12 @@ type worldMetrics struct {
 	// and .ProvenanceRecords, like the cycle counters above).
 	provCycles, provRecords *metrics.Counter
 
+	// Multi-tenant serving (tenant.go): registered tenants, the bytes
+	// currently charged against their budgets, allocations denied over
+	// budget, and wholesale evictions.
+	tenants, tenantLiveBytes       *metrics.Gauge
+	budgetDenials, tenantEvictions *metrics.Counter
+
 	// Pause-time histograms (log₂ buckets, nanoseconds): the
 	// distribution complement to the *_pause_ns running sums. Not part
 	// of Snapshot; see Registry.Histogram. finalHist is the concurrent
@@ -589,6 +602,10 @@ func newWorldMetrics() worldMetrics {
 		spanRefillSlots:    reg.Counter("span_refill_slots"),
 		provCycles:         reg.Counter("provenance_cycles"),
 		provRecords:        reg.Counter("provenance_records"),
+		tenants:            reg.Gauge("tenants"),
+		tenantLiveBytes:    reg.Gauge("tenant_live_bytes"),
+		budgetDenials:      reg.Counter("budget_denials"),
+		tenantEvictions:    reg.Counter("tenant_evictions"),
 		markHist:           reg.Histogram("mark_pause_ns_hist"),
 		sweepHist:          reg.Histogram("sweep_pause_ns_hist"),
 		stopHist:           reg.Histogram("stop_pause_ns_hist"),
@@ -701,6 +718,13 @@ func (w *World) syncGaugesExcluded() {
 		m.lineFreeLines.Set(int64(ls.FreeLines))
 		m.lineWasteBytes.Set(int64(ls.WasteBytes))
 	}
+	if len(w.tenants) > 0 {
+		var live uint64
+		for _, t := range w.tenants {
+			live += t.live.Load()
+		}
+		m.tenantLiveBytes.Set(int64(live))
+	}
 }
 
 // recordCycle folds one completed collection into the counters. Plain
@@ -803,6 +827,14 @@ func (w *World) GCTraceSummary() string {
 // and — under ConcurrentSweep — hand the cycle's deferred sweep
 // backlog to a background sweeper once the world resumes.
 func (w *World) fireHook() {
+	if w.Heap.HasOwners() {
+		// Tenant policy hook at the collection barrier: credit each
+		// tenant for the owned objects this cycle reclaimed (a lazy
+		// barrier's pending blocks reconcile from their mark bits), so
+		// budgets free up without waiting for the owner's next
+		// over-budget slow path. No-op for untenanted worlds.
+		w.lockHeapLocked(func() { w.Heap.ReconcileOwners() })
+	}
 	w.recordCycle(w.last)
 	w.syncGauges()
 	if w.gctrace != nil {

@@ -121,6 +121,14 @@ const (
 	// debt to the pacer. A0 assist duration in nanoseconds, A1 bytes of
 	// debt that triggered it, A2 the pacer credit after repayment.
 	EvPacerAssist
+	// EvBudgetExceeded records a tenant allocation denied by its heap
+	// budget after the over-budget policy ran out of remedies. A0 tenant
+	// id, A1 requested bytes, A2 the tenant's live bytes at denial.
+	EvBudgetExceeded
+	// EvTenantEvict records a tenant eviction: every object the tenant
+	// still owned was freed and the tenant was cancelled. A0 tenant id,
+	// A1 objects freed, A2 bytes freed.
+	EvTenantEvict
 
 	numKinds // sentinel: keep last
 )
@@ -149,6 +157,8 @@ var kindNames = [numKinds]string{
 	EvBarrierDirty:   "barrier_dirty",
 	EvFinalPause:     "final_pause",
 	EvPacerAssist:    "pacer_assist",
+	EvBudgetExceeded: "budget_exceeded",
+	EvTenantEvict:    "tenant_evict",
 }
 
 func (k Kind) String() string {

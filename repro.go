@@ -175,6 +175,49 @@ type (
 	MutatorStats = core.MutatorStats
 )
 
+// Multi-tenant serving (DESIGN.md section 5i). A Tenant wraps mutator
+// handles with a heap budget and an over-budget policy:
+//
+//	t := w.NewTenant(TenantConfig{BudgetBytes: 64 << 10, Policy: TenantCollectFirst})
+//	m := t.NewMutator()
+//	_, err := m.Allocate(8, false) // errors.Is(err, ErrBudgetExceeded) once over budget
+type (
+	// Tenant is one budgeted session sharing a world's heap.
+	Tenant = core.Tenant
+	// TenantConfig declares a tenant's budget and policy.
+	TenantConfig = core.TenantConfig
+	// TenantStats is a snapshot of a tenant's accounting.
+	TenantStats = core.TenantStats
+	// TenantPolicy selects what an over-budget allocation does.
+	TenantPolicy = core.TenantPolicy
+	// BudgetError is the typed denial a fail-policy tenant returns.
+	BudgetError = core.BudgetError
+	// ServeSessionParams scripts one request-driven tenant session.
+	ServeSessionParams = workload.ServeSessionParams
+	// ServeSessionResult is one session's outcome.
+	ServeSessionResult = workload.ServeSessionResult
+	// ServeKind selects a session body (scheme churn or leak).
+	ServeKind = workload.ServeKind
+)
+
+// Over-budget policies and serve-session kinds.
+const (
+	TenantFail         = core.TenantFail
+	TenantCollectFirst = core.TenantCollectFirst
+	TenantEvict        = core.TenantEvict
+	ServeScheme        = workload.ServeScheme
+	ServeLeak          = workload.ServeLeak
+)
+
+// Tenant sentinel errors (match with errors.Is) and the session entry
+// point.
+var (
+	ErrBudgetExceeded  = core.ErrBudgetExceeded
+	ErrTenantCancelled = core.ErrTenantCancelled
+	ErrTenantEvicted   = core.ErrTenantEvicted
+	RunServeSession    = workload.RunServeSession
+)
+
 // NewMutatorMachine creates a machine in the world's address space and
 // attaches it as a mutator handle's root source: the machine's
 // registers and stack are scanned as that mutator's roots at every

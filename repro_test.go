@@ -434,3 +434,51 @@ func TestObservation5Experiment(t *testing.T) {
 		t.Error("table title missing")
 	}
 }
+
+func TestServeBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three 32-tenant serving worlds")
+	}
+	res, tab, err := ServeBench(ServeBenchOptions{Tenants: 32, Requests: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d policy rows, want 3", len(res.Rows))
+	}
+	want := map[string]struct {
+		allocated, denials, evictions, live uint64
+	}{
+		"fail":          {allocated: 32 * 16, denials: 32 * 8, live: 32 * 16},
+		"collect-first": {allocated: 32 * 24, denials: 0},
+		"evict":         {allocated: 32 * 16, evictions: 32, live: 0},
+	}
+	for _, r := range res.Rows {
+		exp, ok := want[r.Policy]
+		if !ok {
+			t.Fatalf("unexpected policy row %q", r.Policy)
+		}
+		delete(want, r.Policy)
+		if r.ObjectsAllocated != exp.allocated {
+			t.Errorf("%s: allocated %d, want %d", r.Policy, r.ObjectsAllocated, exp.allocated)
+		}
+		if r.Denials != exp.denials {
+			t.Errorf("%s: denials %d, want %d", r.Policy, r.Denials, exp.denials)
+		}
+		if r.Evictions != exp.evictions {
+			t.Errorf("%s: evictions %d, want %d", r.Policy, r.Evictions, exp.evictions)
+		}
+		if r.Policy != "collect-first" && r.ObjectsLive != exp.live {
+			t.Errorf("%s: live %d, want %d", r.Policy, r.ObjectsLive, exp.live)
+		}
+		if r.FairnessSpread != 0 {
+			t.Errorf("%s: fairness spread %d, want 0", r.Policy, r.FairnessSpread)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing policy rows: %v", want)
+	}
+	if !strings.Contains(tab.String(), "Multi-tenant serving") {
+		t.Error("table title missing")
+	}
+}
