@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet lint build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench pausebench servebench soak tenantsoak benchgate heapdump-smoke fuzz-smoke
+.PHONY: ci fmt vet lint build test race bench bench-smoke markbench sweepbench mutbench allocbench retentionbench pausebench servebench leakbench soak tenantsoak leaksoak benchgate heapdump-smoke fuzz-smoke
 
 ci: fmt vet lint build test race
 
@@ -50,6 +50,7 @@ bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/gcbench -experiment allocbench -mutators 1,2 > /dev/null
 	$(GO) run ./cmd/gcbench -experiment servebench -tenants 32 -requests 6 > /dev/null
+	$(GO) run ./cmd/gcbench -experiment leakbench > /dev/null
 
 # Regenerates BENCH_1.json (parallel mark scaling, machine-readable).
 # Worker counts above GOMAXPROCS are measured but flagged
@@ -101,6 +102,14 @@ pausebench:
 servebench:
 	$(GO) run ./cmd/gcbench -experiment servebench -benchjson BENCH_7.json
 
+# Regenerates BENCH_8.json (online leak detection: planted slow leak
+# vs churn-only control under the retention watcher). Single-threaded
+# and fully deterministic: detection counts, first-alert cycle,
+# attributed growth and false-positive counts are gated bit-for-bit;
+# only elapsed time is advisory.
+leakbench:
+	$(GO) run ./cmd/gcbench -experiment leakbench -benchjson BENCH_8.json
+
 # Multi-mutator soak: many allocation/collection rounds against one
 # generational + lazy-sweep world, with a full allocator integrity
 # audit after every round. Not part of `make ci`; run it when touching
@@ -116,6 +125,15 @@ soak:
 TENANT_SOAK_SECONDS ?= 60
 tenantsoak:
 	$(GO) run ./cmd/gcbench -experiment tenantsoak -tenants 64 -soak-seconds $(TENANT_SOAK_SECONDS)
+
+# Leak-watch soak: wall-clock-bounded rounds of concurrent churn
+# against a concurrent-marking world with the retention watcher live
+# and a planted leak growing; fails on zero leak alerts or any
+# false-positive alert. Not part of `make ci`; the nightly workflow
+# runs it for five minutes.
+LEAK_SOAK_SECONDS ?= 60
+leaksoak:
+	$(GO) run ./cmd/gcbench -experiment leaksoak -mutators 4 -soak-seconds $(LEAK_SOAK_SECONDS)
 
 # Benchmark regression gate: rerun each benchmark in-process and diff
 # it against the checked-in baseline. Deterministic invariants (objects

@@ -16,8 +16,9 @@
 // sweepbench result, rows keyed by "mutators" are a mutbench result,
 // rows keyed by "pause_mode" are a pausebench result, rows keyed by
 // "policy" are a servebench result, rows keyed by "round" are a
-// retention result. The detected schema of every input file is named
-// on stderr before the comparison runs.
+// retention result, rows keyed by "leak_key_alerts" are a leakwatch
+// result. The detected schema of every input file is named on stderr
+// before the comparison runs.
 // A machine-readable JSON report goes to stdout.
 // Exit status: 0 pass, 1 regression, 2 usage or I/O error.
 //
@@ -416,6 +417,56 @@ func CompareServe(base, cand *repro.ServeBenchResult, tol float64) *Report {
 	return rep.finish()
 }
 
+// CompareLeak gates a candidate leakwatch result against a baseline.
+// Rows are matched by workload ("leak"/"churn"). The workloads are
+// single-threaded with automatic collection off and the watcher's
+// decision is pure arithmetic over retained totals, so every detection
+// column is an exact invariant — alert counts, the attribution split,
+// the first-alert cycle, the alerted growth, and the final retention
+// levels. Only the elapsed wall time is gated as a timing metric.
+func CompareLeak(base, cand *repro.LeakBenchResult, tol float64) *Report {
+	rep := &Report{Schema: "leakwatch", Tolerance: tol}
+	byWorkload := make(map[string]repro.LeakBenchRow)
+	for _, row := range cand.Rows {
+		byWorkload[row.Workload] = row
+	}
+	for _, b := range base.Rows {
+		c, ok := byWorkload[b.Workload]
+		name := b.Workload
+		if !ok {
+			rep.Checks = append(rep.Checks, Check{
+				Name: name + "/present", Kind: "invariant",
+				Baseline: 1, Candidate: 0, Limit: 1, Pass: false,
+			})
+			continue
+		}
+		rep.invariantCheck(name+"/rounds", float64(b.Rounds), float64(c.Rounds))
+		rep.invariantCheck(name+"/collections",
+			float64(b.Collections), float64(c.Collections))
+		rep.invariantCheck(name+"/watched_samples",
+			float64(b.WatchedSamples), float64(c.WatchedSamples))
+		rep.invariantCheck(name+"/alerts_total",
+			float64(b.AlertsTotal), float64(c.AlertsTotal))
+		rep.invariantCheck(name+"/leak_key_alerts",
+			float64(b.LeakKeyAlerts), float64(c.LeakKeyAlerts))
+		rep.invariantCheck(name+"/false_positives",
+			float64(b.FalsePositives), float64(c.FalsePositives))
+		rep.invariantCheck(name+"/first_alert_cycle",
+			float64(b.FirstAlertCycle), float64(c.FirstAlertCycle))
+		rep.invariantCheck(name+"/leak_growth_bytes",
+			float64(b.LeakGrowthBytes), float64(c.LeakGrowthBytes))
+		rep.invariantCheck(name+"/leak_last_bytes",
+			float64(b.LeakLastBytes), float64(c.LeakLastBytes))
+		rep.invariantCheck(name+"/trend_keys",
+			float64(b.TrendKeys), float64(c.TrendKeys))
+		rep.invariantCheck(name+"/live_objects",
+			float64(b.LiveObjects), float64(c.LiveObjects))
+		rep.timeCheckGMP(name+"/elapsed_ms", b.ElapsedMs, c.ElapsedMs,
+			effGMP(b.GoMaxProcs, base.GoMaxProcs), effGMP(c.GoMaxProcs, cand.GoMaxProcs))
+	}
+	return rep.finish()
+}
+
 // detectSchema classifies a benchmark JSON by its first row's keys.
 func detectSchema(data []byte) (string, error) {
 	var probe struct {
@@ -448,10 +499,13 @@ func detectSchema(data []byte) (string, error) {
 	if _, ok := probe.Rows[0]["mutators"]; ok {
 		return "mutbench", nil
 	}
+	if _, ok := probe.Rows[0]["leak_key_alerts"]; ok {
+		return "leakwatch", nil
+	}
 	if _, ok := probe.Rows[0]["round"]; ok {
 		return "retention", nil
 	}
-	return "", fmt.Errorf("rows have no \"policy\", \"pause_mode\", \"mode\", \"workers\", \"profile\", \"mutators\" or \"round\" keys")
+	return "", fmt.Errorf("rows have no \"policy\", \"pause_mode\", \"mode\", \"workers\", \"profile\", \"mutators\", \"leak_key_alerts\" or \"round\" keys")
 }
 
 // Gate loads the baseline, obtains a candidate (from candidatePath or a
@@ -670,6 +724,27 @@ func Gate(baselinePath, candidatePath string, tol float64) (*Report, error) {
 			cand = *res
 		}
 		return CompareRetention(&base, &cand, tol), nil
+	case "leakwatch":
+		var base repro.LeakBenchResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, err
+		}
+		var cand repro.LeakBenchResult
+		if candData != nil {
+			if err := json.Unmarshal(candData, &cand); err != nil {
+				return nil, err
+			}
+		} else {
+			res, _, err := repro.LeakBench(repro.LeakBenchOptions{
+				Rounds: base.Rounds, SampleEvery: base.SampleEvery,
+				Window: base.Window, MinGrowthBytes: base.MinGrowthBytes,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cand = *res
+		}
+		return CompareLeak(&base, &cand, tol), nil
 	}
 	return nil, fmt.Errorf("unreachable schema %q", schema)
 }
@@ -681,7 +756,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// Name the schema detected for each input file up front: with seven
+	// Name the schema detected for each input file up front: with eight
 	// BENCH_*.json schemas in the tree, a gate failure that silently
 	// compared the wrong benchmark family is much harder to diagnose
 	// than one that announced what it detected.

@@ -35,6 +35,8 @@
 //	soak        long multi-mutator churn with per-cycle integrity audits
 //	tenantsoak  wall-clock-bounded multi-tenant churn with per-round audits
 //	retention   spurious-retention attribution on the section-4 lazy stream
+//	leakbench   online leak watcher: planted slow leak vs churn control
+//	leaksoak    wall-clock-bounded watcher soak on a concurrent-marking world
 package main
 
 import (
@@ -52,7 +54,7 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|mutbench|allocbench|pausebench|servebench|soak|tenantsoak|retention|all)")
+	experiment = flag.String("experiment", "all", "experiment to run (table1|figure1|stackclear|grids|structures|overhead|largeobj|pcrsweep|frag|dualrun|genceiling|placement|atomic|typed|pauses|obs5|markbench|sweepbench|mutbench|allocbench|pausebench|servebench|soak|tenantsoak|retention|leakbench|leaksoak|all)")
 	seeds      = flag.Int("seeds", 3, "seeds per table-1 and pcrsweep cell")
 	parallel   = flag.Int("parallel", 8, "concurrent runs for table-1 style sweeps")
 	seed       = flag.Uint64("seed", 1, "base seed for single-run experiments")
@@ -136,13 +138,15 @@ func main() {
 		"soak":       runSoak,
 		"tenantsoak": runTenantSoak,
 		"retention":  runRetention,
+		"leakbench":  runLeakBench,
+		"leaksoak":   runLeakSoak,
 	}
 	order := []string{
 		"table1", "figure1", "stackclear", "grids", "structures",
 		"overhead", "largeobj", "pcrsweep", "frag", "dualrun", "genceiling",
 		"placement", "atomic", "typed", "pauses", "obs5", "markbench",
 		"sweepbench", "mutbench", "allocbench", "pausebench", "servebench",
-		"retention",
+		"retention", "leakbench",
 	}
 	var todo []string
 	if *experiment == "all" {
@@ -805,6 +809,178 @@ func runRetention() error {
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
 	}
+	return writeTrace()
+}
+
+func runLeakBench() error {
+	res, tab, err := repro.LeakBench(repro.LeakBenchOptions{Trace: getBenchTracer()})
+	if err != nil {
+		return err
+	}
+	printTable(tab)
+	fmt.Println("Online leak detection: the retention watcher samples every 2nd collection at")
+	fmt.Println("the cycle barrier, diffs per-root-slot retention snapshots, and alerts on")
+	fmt.Println("sustained windowed growth. The planted leak (one monotone list root among")
+	fmt.Println("eight churning roots) must be flagged within a bounded cycle count with zero")
+	fmt.Println("false positives; the churn-only control must stay silent. Both outcomes are")
+	fmt.Println("exact and gated by cmd/benchgate; only elapsed ms is timing.")
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	return writeTrace()
+}
+
+// runLeakSoak churns allocation against one concurrent-marking world
+// with the retention watcher running until the -soak-seconds budget
+// runs out: a planted list leaks from one root slot while -mutators
+// goroutines churn rooted and unrooted objects. Every round ends in a
+// settling collection and a full integrity audit; at the end the
+// watcher must have flagged the planted slot and nothing else.
+func runLeakSoak() error {
+	counts, err := parseMutators()
+	if err != nil {
+		return err
+	}
+	nMut := 4
+	if len(counts) > 0 {
+		nMut = counts[0]
+	}
+	w, err := repro.NewWorld(repro.Config{
+		InitialHeapBytes: 8 << 20, ReserveHeapBytes: 64 << 20,
+		GCDivisor: 16, ConcurrentMark: true, MarkQuantum: 4096,
+		ConcMarkWorkers: 4, ConcurrentSweep: true,
+	})
+	if err != nil {
+		return err
+	}
+	w.SetTracer(getBenchTracer())
+	const slots = 16
+	data, err := w.Space.MapNew("roots", repro.KindData, 0x2000,
+		(nMut*slots+1)*4, (nMut*slots+1)*4)
+	if err != nil {
+		return err
+	}
+	leakSlot := repro.Addr(0x2000 + nMut*slots*4)
+	leakKey := repro.RootSlotID{
+		Kind: repro.RootSegment, Src: 0, Index: int32(nMut * slots), Addr: leakSlot,
+	}.String()
+	alerts, err := w.StartRetentionWatch(repro.WatchConfig{
+		SampleEvery: 1, Window: 8, MinGrowthBytes: 4096, Buffer: 4096,
+	})
+	if err != nil {
+		return err
+	}
+	maint := w.NewMutator()
+	muts := make([]*repro.Mutator, nMut)
+	for g := range muts {
+		muts[g] = w.NewMutator()
+	}
+	fmt.Printf("Leak soak: %d churn mutators + 1 planted leak, watcher on every cycle, %ds...\n",
+		nMut, *soakSecs)
+	deadline := time.Now().Add(time.Duration(*soakSecs) * time.Second)
+	var leakAlerts, falsePos int
+	var firstLeak string
+	drain := func() {
+		for {
+			select {
+			case a, ok := <-alerts:
+				if !ok {
+					return
+				}
+				if a.Key == leakKey {
+					leakAlerts++
+					if firstLeak == "" {
+						firstLeak = repro.LeakAlertText(a)
+					}
+				} else {
+					falsePos++
+					fmt.Printf("  false positive: %s\n", repro.LeakAlertText(a))
+				}
+			default:
+				return
+			}
+		}
+	}
+	round := 0
+	const allocsPerRound = 2000
+	sizes := []int{2, 3, 5, 8, 16}
+	for time.Now().Before(deadline) {
+		round++
+		// The leak: 1024 cells (8 KiB) prepended to the planted list.
+		for i := 0; i < 1024; i++ {
+			prev, err := maint.Load(leakSlot)
+			if err != nil {
+				return err
+			}
+			cell, err := maint.AllocateRooted(data, leakSlot, 2, false)
+			if err != nil {
+				return err
+			}
+			if err := maint.Store(cell+4, prev); err != nil {
+				return err
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, nMut)
+		for g := 0; g < nMut; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				m := muts[g]
+				base := repro.Addr(0x2000 + g*slots*4)
+				for i := 0; i < allocsPerRound; i++ {
+					size := sizes[(i+round)%len(sizes)]
+					if i%8 == 0 {
+						slot := repro.Addr(4 * ((i >> 3) % slots))
+						if _, err := m.AllocateRooted(data, base+slot, size, false); err != nil {
+							errs[g] = err
+							return
+						}
+					} else if _, err := m.Allocate(size, i%16 == 1); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g, err := range errs {
+			if err != nil {
+				return fmt.Errorf("leak soak round %d, mutator %d: %w", round, g, err)
+			}
+		}
+		w.Collect()
+		w.FinishSweep()
+		if err := w.VerifyIntegrity(); err != nil {
+			return fmt.Errorf("leak soak round %d: %w", round, err)
+		}
+		drain()
+		if round%25 == 0 {
+			hs := w.Heap.Stats()
+			fmt.Printf("  round %d: %d objs live, %d collections, %d leak alerts\n",
+				round, hs.ObjectsLive, w.Collections(), leakAlerts)
+		}
+	}
+	trends := w.StopRetentionWatch()
+	drain()
+	if leakAlerts == 0 {
+		return fmt.Errorf("leak soak: planted leak never alerted in %d rounds (%d trend keys)",
+			round, len(trends))
+	}
+	if falsePos > 0 {
+		return fmt.Errorf("leak soak: %d false-positive alerts", falsePos)
+	}
+	fmt.Printf("Survived %d rounds: %d leak alerts on the planted slot, 0 false positives.\n",
+		round, leakAlerts)
+	fmt.Printf("first alert: %s\n", firstLeak)
+	fmt.Println(w.GCTraceSummary())
 	return writeTrace()
 }
 

@@ -15,6 +15,7 @@
 //	heapdump -platform sparc-static -retention -whylive 0x400010
 //	heapdump -platform pcr -snapshot heap.json
 //	heapdump -plantfalse            # self-checking false-reference demo
+//	heapdump -watch                 # self-checking streaming leak-watch demo
 package main
 
 import (
@@ -38,6 +39,8 @@ var (
 	retention    = flag.Bool("retention", false, "print the retention report (sole-retention ranking)")
 	snapshotOut  = flag.String("snapshot", "", "write a JSON heap snapshot to this file")
 	plantFalse   = flag.Bool("plantfalse", false, "run the self-checking false-stack-reference scenario instead of program T")
+	watchMode    = flag.Bool("watch", false, "run the streaming leak-watch scenario instead of program T")
+	watchRounds  = flag.Int("watch-rounds", 40, "collection rounds for -watch")
 )
 
 func main() {
@@ -45,6 +48,13 @@ func main() {
 	if *plantFalse {
 		if err := runPlantFalse(); err != nil {
 			fmt.Fprintf(os.Stderr, "heapdump: plantfalse: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *watchMode {
+		if err := runWatch(); err != nil {
+			fmt.Fprintf(os.Stderr, "heapdump: watch: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -147,6 +157,107 @@ func writeSnapshot(w *repro.World, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runWatch demonstrates the online retention watcher as a stream: a
+// planted list leaks from one root slot while four other slots churn
+// whole lists every round, the watcher samples each collection, and
+// every alert prints as it fires — what a long-running embedder sees
+// on the StartRetentionWatch channel. Self-checking like -plantfalse:
+// exits nonzero unless the leak slot (and only the leak slot) alerts,
+// which makes it a CI smoke test (make heapdump-smoke).
+func runWatch() error {
+	w, err := repro.NewWorld(repro.Config{
+		Blacklisting: repro.BlacklistDense, LazySweep: true, GCDivisor: -1,
+	})
+	if err != nil {
+		return err
+	}
+	const rootBase = repro.Addr(0x2000)
+	roots, err := w.Space.MapNew("roots", repro.KindData, rootBase, 4096, 4096)
+	if err != nil {
+		return err
+	}
+	alerts, err := w.StartRetentionWatch(repro.WatchConfig{
+		SampleEvery: 1, Window: 8, MinGrowthBytes: 1024, Buffer: 4 * *watchRounds,
+	})
+	if err != nil {
+		return err
+	}
+	leakKey := repro.RootSlotID{
+		Kind: repro.RootSegment, Src: 0, Index: 0, Addr: rootBase,
+	}.String()
+	fmt.Printf("watching %d rounds (sample every cycle, window 8, alert floor 1 KiB);\n",
+		*watchRounds)
+	fmt.Printf("slot 0 leaks 32 cells/round, slots 1-4 churn whole lists:\n\n")
+
+	cons := func(car, cdr repro.Word) (repro.Addr, error) {
+		cell, err := w.Allocate(2, false)
+		if err != nil {
+			return 0, err
+		}
+		if err := w.Store(cell, car); err != nil {
+			return 0, err
+		}
+		return cell, w.Store(cell+repro.WordBytes, cdr)
+	}
+	var leakHead repro.Word
+	var leakAlerts, falsePos int
+	for round := 1; round <= *watchRounds; round++ {
+		for i := 0; i < 32; i++ {
+			cell, err := cons(repro.Word(round), leakHead)
+			if err != nil {
+				return err
+			}
+			leakHead = repro.Word(cell)
+			if err := roots.Store(rootBase, leakHead); err != nil {
+				return err
+			}
+		}
+		churnLen := 20
+		if round%2 == 1 {
+			churnLen = 50
+		}
+		for s := 1; s <= 4; s++ {
+			var head repro.Word
+			for i := 0; i < churnLen; i++ {
+				cell, err := cons(repro.Word(i), head)
+				if err != nil {
+					return err
+				}
+				head = repro.Word(cell)
+			}
+			if err := roots.Store(rootBase+repro.Addr(s)*repro.WordBytes, head); err != nil {
+				return err
+			}
+		}
+		w.Collect()
+		for drained := false; !drained; {
+			select {
+			case a := <-alerts:
+				fmt.Println(repro.LeakAlertText(a))
+				if a.Key == leakKey {
+					leakAlerts++
+				} else {
+					falsePos++
+				}
+			default:
+				drained = true
+			}
+		}
+	}
+	trends := w.StopRetentionWatch()
+	fmt.Println()
+	fmt.Print(repro.LeakTrendsText(trends))
+
+	if leakAlerts == 0 {
+		return fmt.Errorf("planted leak never alerted over %d rounds", *watchRounds)
+	}
+	if falsePos > 0 {
+		return fmt.Errorf("%d alerts on non-leak keys", falsePos)
+	}
+	fmt.Printf("\nwatch OK: %d alerts, all on the planted slot %s\n", leakAlerts, leakKey)
+	return nil
 }
 
 // runPlantFalse reproduces the paper's section-4 lazy-stream scenario

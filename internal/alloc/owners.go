@@ -113,6 +113,14 @@ func (a *Allocator) OwnedBytes(id int32) uint64 {
 	return sum
 }
 
+// OwnerOf returns the tenant owning the object at base, if any — the
+// per-object view the retention watcher uses to build per-tenant
+// attribution keys (OwnedOf/OwnedBytes are the per-tenant views).
+func (a *Allocator) OwnerOf(base mem.Addr) (id int32, ok bool) {
+	rec, ok := a.owned[base]
+	return rec.id, ok
+}
+
 // HasOwners reports whether any ownership records exist (the
 // collection barrier skips reconciliation entirely when none do).
 func (a *Allocator) HasOwners() bool { return len(a.owned) > 0 }

@@ -138,6 +138,13 @@ func (w *World) discardRecording() {
 func (w *World) WhyLive(addr mem.Addr) ([]mark.ParentRecord, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.whyLiveLocked(addr)
+}
+
+// whyLiveLocked is WhyLive's body for callers already holding w.mu
+// (the retention watcher attaches a path to each alert from inside the
+// collection barrier).
+func (w *World) whyLiveLocked(addr mem.Addr) ([]mark.ParentRecord, error) {
 	if !w.prov.valid {
 		return nil, fmt.Errorf("core: WhyLive(%#x): no provenance map; EnableProvenance and collect first", addr)
 	}

@@ -494,6 +494,12 @@ type World struct {
 		cycle   int
 		records map[mem.Addr]mark.ParentRecord
 	}
+
+	// watch is the online retention watcher (watch.go), nil unless
+	// StartRetentionWatch installed one: the collection barrier
+	// nil-checks it, so an unwatched collection pays one compare and
+	// allocates nothing (asserted by TestCollectZeroAllocsUnwatched).
+	watch *retWatch
 }
 
 // worldMetrics is the world's registry plus direct handles to every
@@ -539,6 +545,17 @@ type worldMetrics struct {
 	// records they captured (running sums of CollectionStats.Provenance
 	// and .ProvenanceRecords, like the cycle counters above).
 	provCycles, provRecords *metrics.Counter
+
+	// Retention-watch observability (watch.go): collections the watcher
+	// sampled, alerts raised and their summed windowed growth, alerts
+	// dropped by a slow subscriber, and the current positive-growth
+	// suspect count. leakDiffHist is the snapshot-diff cost
+	// distribution (build totals + trend update, nanoseconds).
+	leakWatched, leakAlerts *metrics.Counter
+	leakAlertBytes          *metrics.Counter
+	leakDropped             *metrics.Counter
+	leakSuspects            *metrics.Gauge
+	leakDiffHist            *metrics.Histogram
 
 	// Multi-tenant serving (tenant.go): registered tenants, the bytes
 	// currently charged against their budgets, allocations denied over
@@ -602,6 +619,11 @@ func newWorldMetrics() worldMetrics {
 		spanRefillSlots:    reg.Counter("span_refill_slots"),
 		provCycles:         reg.Counter("provenance_cycles"),
 		provRecords:        reg.Counter("provenance_records"),
+		leakWatched:        reg.Counter("leak_watched_cycles"),
+		leakAlerts:         reg.Counter("leak_alerts"),
+		leakAlertBytes:     reg.Counter("leak_alerted_bytes"),
+		leakDropped:        reg.Counter("leak_alerts_dropped"),
+		leakSuspects:       reg.Gauge("leak_suspects"),
 		tenants:            reg.Gauge("tenants"),
 		tenantLiveBytes:    reg.Gauge("tenant_live_bytes"),
 		budgetDenials:      reg.Counter("budget_denials"),
@@ -610,6 +632,7 @@ func newWorldMetrics() worldMetrics {
 		sweepHist:          reg.Histogram("sweep_pause_ns_hist"),
 		stopHist:           reg.Histogram("stop_pause_ns_hist"),
 		finalHist:          reg.Histogram("final_pause_ns_hist"),
+		leakDiffHist:       reg.Histogram("leak_snapshot_diff_ns_hist"),
 		heapBytes:          reg.Gauge("heap_bytes"),
 		liveBytes:          reg.Gauge("live_bytes"),
 		liveObjects:        reg.Gauge("live_objects"),
@@ -647,6 +670,11 @@ func (w *World) SetTracer(r *trace.Recorder) {
 		w.par.SetTracer(r)
 	}
 	w.Heap.SetTracer(r)
+	// The recorder's JSON dump carries this world's histogram
+	// distributions (pause times, snapshot-diff costs) alongside the
+	// events; when worlds share a recorder the last attach wins, same
+	// as the events themselves.
+	r.SetHistogramSource(w.met.reg.HistogramSnapshot)
 }
 
 // Tracer returns the attached trace recorder (nil when disabled).
@@ -819,6 +847,15 @@ func (w *World) GCTraceSummary() string {
 	if n := m.finalHist.Count(); n > 0 {
 		s += fmt.Sprintf("; final %d pauses %s", n, dist(m.finalHist))
 	}
+	if n := m.tenants.Load(); n > 0 {
+		s += fmt.Sprintf("; tenants %d (%d KiB live)", n, m.tenantLiveBytes.Load()/1024)
+	}
+	if c := m.pacerCreditB.Load(); c != 0 {
+		s += fmt.Sprintf("; pacer credit %d KiB", c/1024)
+	}
+	if n := m.leakDiffHist.Count(); n > 0 {
+		s += fmt.Sprintf("; leakwatch %d samples diff %s", n, dist(m.leakDiffHist))
+	}
 	return s
 }
 
@@ -834,6 +871,12 @@ func (w *World) fireHook() {
 		// budgets free up without waiting for the owner's next
 		// over-budget slow path. No-op for untenanted worlds.
 		w.lockHeapLocked(func() { w.Heap.ReconcileOwners() })
+	}
+	if w.watch != nil {
+		// Online retention watcher (watch.go): snapshot-diff this cycle's
+		// provenance if it is a sampled one. Nil for unwatched worlds, so
+		// the barrier pays one pointer compare and allocates nothing.
+		w.watchSampleLocked()
 	}
 	w.recordCycle(w.last)
 	w.syncGauges()

@@ -1,0 +1,48 @@
+package inspect
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Renderers for the online retention watcher (core/watch.go): one-line
+// alert formatting for streaming consumers (cmd/heapdump -watch) and a
+// trend-table summary for end-of-run reporting.
+
+// LeakAlertText renders one alert as a single line:
+//
+//	leak: segment[0+0] @0x2000 +12288 B over 12 cycles (conf 1.00, 1024 B/cycle, now 49152 B / 384 objs) via segment[0+0] @0x2000 -> 0x4a000
+func LeakAlertText(a core.LeakAlert) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "leak: %s %+d B over %d cycles (conf %.2f, %.0f B/cycle, now %d B / %d objs)",
+		a.Key, a.GrowthBytes, a.Cycles, a.Confidence, a.EWMABytesPerCycle,
+		a.LastBytes, a.LastObjects)
+	if a.SampleWhyLivePath != "" {
+		fmt.Fprintf(&sb, " via %s", a.SampleWhyLivePath)
+	}
+	return sb.String()
+}
+
+// LeakTrendsText renders a trend series (World.RetentionTrends or the
+// StopRetentionWatch result) as an aligned table, one key per line,
+// alerted keys flagged with a leading '!'.
+func LeakTrendsText(trends []core.LeakTrend) string {
+	if len(trends) == 0 {
+		return "leak trends: (none)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "leak trends (%d keys):\n", len(trends))
+	for _, t := range trends {
+		flag := ' '
+		if t.Alerted {
+			flag = '!'
+		}
+		fmt.Fprintf(&sb, "%c %-40s %8d B %6d objs  growth %+8d B/%d cycles  conf %.2f  ewma %7.0f B/cycle  high %d B\n",
+			flag, t.Key, t.LastBytes, t.LastObjects,
+			t.GrowthBytes, t.WindowCycles, t.Confidence, t.EWMABytesPerCycle,
+			t.HighWaterBytes)
+	}
+	return sb.String()
+}

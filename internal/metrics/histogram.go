@@ -148,6 +148,74 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HistogramBucket is one non-empty bucket in a histogram sample:
+// the bucket's inclusive upper bound and its observation count.
+type HistogramBucket struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramSample is one histogram's state at snapshot time: the
+// scalar aggregates, the standard quantiles, and the non-empty log₂
+// buckets. It is the JSON-exportable complement to Sample for the
+// distribution metrics Snapshot deliberately omits.
+type HistogramSample struct {
+	Name    string            `json:"name"`
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Max     uint64            `json:"max"`
+	P50     uint64            `json:"p50"`
+	P95     uint64            `json:"p95"`
+	P99     uint64            `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// sample snapshots one histogram under a name.
+func (h *Histogram) sample(name string) HistogramSample {
+	s := HistogramSample{
+		Name:  name,
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.5),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	for i, c := range h.Buckets() {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{
+				UpperBound: BucketUpperBound(i) - 1, Count: c,
+			})
+		}
+	}
+	return s
+}
+
+// HistogramSnapshot returns every registered histogram's state in
+// registration order, non-empty distributions only — the export the
+// gcbench -trace JSON dump carries so pause percentiles survive
+// outside the GCTraceSummary text.
+func (r *Registry) HistogramSnapshot() []HistogramSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, len(r.horder))
+	copy(names, r.horder)
+	hists := make([]*Histogram, len(names))
+	for i, n := range names {
+		hists[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+	var out []HistogramSample
+	for i, h := range hists {
+		if h.Count() > 0 {
+			out = append(out, h.sample(names[i]))
+		}
+	}
+	return out
+}
+
 // HistogramNames returns the registered histogram names in
 // registration order.
 func (r *Registry) HistogramNames() []string {

@@ -28,6 +28,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Kind identifies an event type. The three argument words A0..A2 are
@@ -129,6 +131,10 @@ const (
 	// still owned was freed and the tenant was cancelled. A0 tenant id,
 	// A1 objects freed, A2 bytes freed.
 	EvTenantEvict
+	// EvLeakAlert records the retention watcher raising a leak alert
+	// for one attribution key. A0 collection cycle, A1 windowed growth
+	// bytes, A2 confidence in per-mille (750 = 0.75).
+	EvLeakAlert
 
 	numKinds // sentinel: keep last
 )
@@ -159,6 +165,7 @@ var kindNames = [numKinds]string{
 	EvPacerAssist:    "pacer_assist",
 	EvBudgetExceeded: "budget_exceeded",
 	EvTenantEvict:    "tenant_evict",
+	EvLeakAlert:      "leak_alert",
 }
 
 func (k Kind) String() string {
@@ -186,6 +193,11 @@ type Recorder struct {
 	buf   []Event
 	count uint64 // total events emitted, including overwritten ones
 	epoch time.Time
+	// histSrc, when set, is consulted at WriteJSON time for the
+	// distribution metrics to embed alongside the events (core wires it
+	// to the traced world's Registry.HistogramSnapshot, so a -trace
+	// dump carries the pause histograms of the last world traced).
+	histSrc func() []metrics.HistogramSample
 }
 
 // DefaultCapacity is the buffer size New uses for capacity <= 0.
@@ -288,12 +300,27 @@ type jsonEvent struct {
 	Args   [3]int64 `json:"args"`
 }
 
+// SetHistogramSource registers fn as the provider of histogram
+// snapshots for WriteJSON (nil detaches). A nil recorder no-ops.
+func (r *Recorder) SetHistogramSource(fn func() []metrics.HistogramSample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.histSrc = fn
+	r.mu.Unlock()
+}
+
 // jsonTrace is the export envelope.
 type jsonTrace struct {
 	Capacity int         `json:"capacity"`
 	Emitted  uint64      `json:"emitted"`
 	Dropped  uint64      `json:"dropped"`
 	Events   []jsonEvent `json:"events"`
+	// Histograms carries the traced world's distribution metrics
+	// (pause, final-pause, snapshot-diff) when a histogram source is
+	// attached; omitted otherwise for backward compatibility.
+	Histograms []metrics.HistogramSample `json:"histograms,omitempty"`
 }
 
 // WriteJSON exports the surviving events as one indented JSON
@@ -305,6 +332,14 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		Emitted:  r.Emitted(),
 		Dropped:  r.Dropped(),
 		Events:   []jsonEvent{},
+	}
+	if r != nil {
+		r.mu.Lock()
+		src := r.histSrc
+		r.mu.Unlock()
+		if src != nil {
+			doc.Histograms = src()
+		}
 	}
 	for _, ev := range r.Events() {
 		doc.Events = append(doc.Events, jsonEvent{

@@ -1,0 +1,197 @@
+package watch
+
+import (
+	"math"
+	"testing"
+)
+
+// feed runs rounds of Observe with per-key byte levels produced by fn
+// (objects = bytes/32 for simplicity), collecting all alerts.
+func feed(t *testing.T, w *Watcher, cycles []int, fn func(cycle int) map[string]uint64) []Alert {
+	t.Helper()
+	var alerts []Alert
+	for _, c := range cycles {
+		totals := map[string]Totals{}
+		for k, b := range fn(c) {
+			totals[k] = Totals{Objects: b / 32, Bytes: b}
+		}
+		alerts = append(alerts, w.Observe(c, totals)...)
+	}
+	return alerts
+}
+
+func cycles(n, every int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = (i + 1) * every
+	}
+	return out
+}
+
+// A monotone leak must alert once the window fills, and re-alert only
+// after another MinGrowthBytes of growth.
+func TestLeakAlertsAndRearm(t *testing.T) {
+	w := New(Config{Window: 4, MinGrowthBytes: 1000, Confidence: 0.75})
+	alerts := feed(t, w, cycles(12, 2), func(c int) map[string]uint64 {
+		return map[string]uint64{"leak": uint64(c) * 500} // +1000 B per sample
+	})
+	if len(alerts) == 0 {
+		t.Fatal("monotone leak never alerted")
+	}
+	// Window fills at the 4th sample (cycle 8): growth over the window
+	// is 3000 >= 1000, confidence 1.0.
+	if alerts[0].Cycle != 8 {
+		t.Errorf("first alert at cycle %d, want 8", alerts[0].Cycle)
+	}
+	if alerts[0].Confidence != 1.0 {
+		t.Errorf("confidence %v, want 1.0", alerts[0].Confidence)
+	}
+	if alerts[0].GrowthBytes != 3000 {
+		t.Errorf("growth %d, want 3000", alerts[0].GrowthBytes)
+	}
+	// Growth is 1000 B per sample = exactly the re-arm threshold, so
+	// every subsequent sample re-alerts: 9 alerts across 12 samples.
+	if len(alerts) != 9 {
+		t.Errorf("got %d alerts, want 9 (one per sample from the 4th)", len(alerts))
+	}
+	for _, a := range alerts {
+		if a.Key != "leak" {
+			t.Errorf("alert on key %q", a.Key)
+		}
+	}
+}
+
+// A stable root (constant retention) and a churning root (oscillating
+// retention) must never alert.
+func TestStableAndChurnStaySilent(t *testing.T) {
+	w := New(Config{Window: 4, MinGrowthBytes: 100, Confidence: 0.75})
+	alerts := feed(t, w, cycles(40, 1), func(c int) map[string]uint64 {
+		churn := uint64(4000)
+		if c%2 == 0 {
+			churn = 9000 // oscillates far above MinGrowthBytes
+		}
+		return map[string]uint64{"stable": 5000, "churn": churn}
+	})
+	if len(alerts) != 0 {
+		t.Fatalf("got %d alerts on stable/churn keys: %+v", len(alerts), alerts)
+	}
+}
+
+// Ramp-then-plateau (a cache filling up) must not alert after the
+// plateau dominates the window, and the confidence must decay.
+func TestPlateauConfidenceDecays(t *testing.T) {
+	w := New(Config{Window: 4, MinGrowthBytes: 100, Confidence: 0.75})
+	level := func(c int) uint64 {
+		if c > 3 {
+			return 3000 // plateau after a 3-sample ramp
+		}
+		return uint64(c) * 1000
+	}
+	var lastConf float64
+	for _, c := range cycles(10, 1) {
+		w.Observe(c, map[string]Totals{"cache": {Objects: 1, Bytes: level(c)}})
+		tr, ok := w.Trend("cache")
+		if !ok {
+			t.Fatal("no trend for cache")
+		}
+		lastConf = tr.Confidence
+	}
+	if lastConf != 0 {
+		t.Errorf("plateau confidence %v, want 0", lastConf)
+	}
+}
+
+func TestEWMATracksRate(t *testing.T) {
+	w := New(Config{Window: 4, EWMAAlpha: 0.5})
+	feed(t, w, cycles(10, 2), func(c int) map[string]uint64 {
+		return map[string]uint64{"k": uint64(c) * 100} // 100 B/cycle
+	})
+	tr, _ := w.Trend("k")
+	if math.Abs(tr.EWMABytesPerCycle-100) > 1e-9 {
+		t.Errorf("EWMA %v, want 100 B/cycle", tr.EWMABytesPerCycle)
+	}
+}
+
+func TestHighWaterAndVanishedKey(t *testing.T) {
+	w := New(Config{Window: 3})
+	w.Observe(1, map[string]Totals{"k": {Objects: 2, Bytes: 800}})
+	w.Observe(2, map[string]Totals{"k": {Objects: 1, Bytes: 400}})
+	tr, _ := w.Trend("k")
+	if tr.HighWaterBytes != 800 || tr.HighWaterObjects != 2 {
+		t.Errorf("high water %d B / %d objs, want 800/2", tr.HighWaterBytes, tr.HighWaterObjects)
+	}
+	// Key disappears: zero samples accumulate, then the series drops.
+	for c := 3; c <= 6; c++ {
+		w.Observe(c, map[string]Totals{})
+	}
+	if _, ok := w.Trend("k"); ok {
+		t.Error("all-zero series was not dropped")
+	}
+	if len(w.Trends()) != 0 {
+		t.Errorf("Trends() = %v, want empty", w.Trends())
+	}
+}
+
+func TestSuspectsRanking(t *testing.T) {
+	w := New(Config{Window: 3, TopSuspects: 2})
+	feed(t, w, cycles(5, 1), func(c int) map[string]uint64 {
+		return map[string]uint64{
+			"big":    uint64(c) * 1000,
+			"small":  uint64(c) * 10,
+			"stable": 500,
+		}
+	})
+	sus := w.Suspects(0)
+	if len(sus) != 2 {
+		t.Fatalf("got %d suspects, want 2 (TopSuspects cap)", len(sus))
+	}
+	if sus[0].Key != "big" || sus[1].Key != "small" {
+		t.Errorf("ranking %q,%q, want big,small", sus[0].Key, sus[1].Key)
+	}
+	if sus[0].GrowthBytes != 2000 { // window of 3 samples: c3..c5
+		t.Errorf("big growth %d, want 2000", sus[0].GrowthBytes)
+	}
+}
+
+// Alert order must be deterministic (sorted by key) regardless of map
+// iteration order.
+func TestAlertOrderDeterministic(t *testing.T) {
+	mk := func() []Alert {
+		w := New(Config{Window: 2, MinGrowthBytes: 1, Confidence: 0.5})
+		return feed(t, w, cycles(4, 1), func(c int) map[string]uint64 {
+			return map[string]uint64{"b": uint64(c) * 100, "a": uint64(c) * 100, "c": uint64(c) * 100}
+		})
+	}
+	first := mk()
+	for i := 0; i < 10; i++ {
+		again := mk()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d alerts vs %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("run %d alert %d: %+v vs %+v", i, j, again[j], first[j])
+			}
+		}
+	}
+	// And within one sample, keys come out sorted.
+	w := New(Config{Window: 2, MinGrowthBytes: 1, Confidence: 0.5})
+	var last []Alert
+	for _, c := range cycles(3, 1) {
+		last = w.Observe(c, map[string]Totals{
+			"z": {Bytes: uint64(c) * 100}, "a": {Bytes: uint64(c) * 100},
+		})
+	}
+	if len(last) != 2 || last[0].Key != "a" || last[1].Key != "z" {
+		t.Fatalf("alerts %+v, want a then z", last)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	w := New(Config{})
+	c := w.Config()
+	if c.SampleEvery != 1 || c.Window != 8 || c.MinGrowthBytes != 4096 ||
+		c.Confidence != 0.75 || c.EWMAAlpha != 0.3 || c.TopSuspects != 5 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -306,6 +306,22 @@ type (
 	// Histogram is a log₂-bucketed pause-time distribution, returned by
 	// MetricsRegistry.Histogram.
 	Histogram = metrics.Histogram
+	// HistogramSample is one histogram's JSON-exportable snapshot,
+	// returned by MetricsRegistry.HistogramSnapshot and carried in the
+	// trace JSON dump.
+	HistogramSample = metrics.HistogramSample
+)
+
+// Online leak-detection types (DESIGN.md section 5j). Start a watcher
+// with World.StartRetentionWatch; alerts stream on the returned
+// channel and trends are read back with World.RetentionTrends.
+type (
+	// WatchConfig parameterises World.StartRetentionWatch.
+	WatchConfig = core.WatchConfig
+	// LeakAlert is one sustained-growth detection.
+	LeakAlert = core.LeakAlert
+	// LeakTrend is one attribution key's trend snapshot.
+	LeakTrend = core.LeakTrend
 )
 
 // Retention-provenance types (DESIGN.md section 5e). Enable recording
@@ -360,6 +376,12 @@ func WhyLivePath(addr Addr, path []ParentRecord) string {
 
 // RetentionText renders a retention report as text.
 func RetentionText(rep RetentionReport) string { return inspect.RetentionText(rep) }
+
+// LeakAlertText renders one leak alert as a single line.
+func LeakAlertText(a LeakAlert) string { return inspect.LeakAlertText(a) }
+
+// LeakTrendsText renders a trend series as an aligned table.
+func LeakTrendsText(trends []LeakTrend) string { return inspect.LeakTrendsText(trends) }
 
 // WriteHeapSnapshot exports a heap snapshot as indented JSON.
 func WriteHeapSnapshot(out io.Writer, snap HeapSnapshot) error {
